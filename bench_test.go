@@ -1,0 +1,232 @@
+package manhattan
+
+// The benchmark harness regenerates every paper artifact (one benchmark per
+// experiment in the E01-E14 index of DESIGN.md) plus micro-benchmarks of
+// the simulator's hot loops. Experiment benches run in Quick mode so that
+// `go test -bench=. -benchmem` completes on a laptop; `cmd/experiments`
+// runs the full-size versions and prints the paper-vs-measured tables.
+
+import (
+	"testing"
+
+	"manhattanflood/internal/experiments"
+)
+
+func benchCfg(i int) experiments.Config {
+	return experiments.Config{Seed: uint64(i) + 1, Quick: true}
+}
+
+func benchExperiment(b *testing.B, run func(experiments.Config) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := run(benchCfg(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE01SpatialDensity regenerates Fig. 1's spatial gradient
+// (Theorem 1).
+func BenchmarkE01SpatialDensity(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config) error {
+		_, err := experiments.E01SpatialDensity(c)
+		return err
+	})
+}
+
+// BenchmarkE02DestinationLaw regenerates Fig. 1's destination cross
+// (Theorem 2, Eqs. 4-5).
+func BenchmarkE02DestinationLaw(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config) error {
+		_, err := experiments.E02DestinationLaw(c)
+		return err
+	})
+}
+
+// BenchmarkE03FloodVsR regenerates the Theorem 3 R-dependence sweep.
+func BenchmarkE03FloodVsR(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config) error {
+		_, err := experiments.E03FloodVsR(c)
+		return err
+	})
+}
+
+// BenchmarkE04FloodVsV regenerates the Theorem 3 v-dependence sweep.
+func BenchmarkE04FloodVsV(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config) error {
+		_, err := experiments.E04FloodVsV(c)
+		return err
+	})
+}
+
+// BenchmarkE05CentralZone regenerates the Theorem 10 / Corollary 12 check.
+func BenchmarkE05CentralZone(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config) error {
+		_, err := experiments.E05CentralZone(c)
+		return err
+	})
+}
+
+// BenchmarkE06SuburbDiameter regenerates the Lemma 15 Suburb-extent scan.
+func BenchmarkE06SuburbDiameter(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config) error {
+		_, err := experiments.E06SuburbDiameter(c)
+		return err
+	})
+}
+
+// BenchmarkE07LowerBound regenerates the Theorem 18 construction.
+func BenchmarkE07LowerBound(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config) error {
+		_, err := experiments.E07LowerBound(c)
+		return err
+	})
+}
+
+// BenchmarkE08Connectivity regenerates the Section 1 connectivity contrast.
+func BenchmarkE08Connectivity(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config) error {
+		_, err := experiments.E08Connectivity(c)
+		return err
+	})
+}
+
+// BenchmarkE09Turns regenerates the Lemma 13 turn-count check.
+func BenchmarkE09Turns(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config) error {
+		_, err := experiments.E09Turns(c)
+		return err
+	})
+}
+
+// BenchmarkE10Expansion regenerates the Lemma 9 expansion stress test.
+func BenchmarkE10Expansion(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config) error {
+		_, err := experiments.E10Expansion(c)
+		return err
+	})
+}
+
+// BenchmarkE11SuburbLag regenerates the headline Suburb-lag grid.
+func BenchmarkE11SuburbLag(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config) error {
+		_, err := experiments.E11SuburbLag(c)
+		return err
+	})
+}
+
+// BenchmarkE12DensityCondition regenerates the Lemma 7 density check.
+func BenchmarkE12DensityCondition(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config) error {
+		_, err := experiments.E12DensityCondition(c)
+		return err
+	})
+}
+
+// BenchmarkE13PerfectSim regenerates the initializer ablation.
+func BenchmarkE13PerfectSim(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config) error {
+		_, err := experiments.E13PerfectSim(c)
+		return err
+	})
+}
+
+// BenchmarkE14Models regenerates the mobility-model comparison.
+func BenchmarkE14Models(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config) error {
+		_, err := experiments.E14Models(c)
+		return err
+	})
+}
+
+// BenchmarkE15InfectionTree regenerates the infection-tree geometry scan.
+func BenchmarkE15InfectionTree(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config) error {
+		_, err := experiments.E15InfectionTree(c)
+		return err
+	})
+}
+
+// BenchmarkE16Meetings regenerates the Lemma 16 meeting measurement.
+func BenchmarkE16Meetings(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config) error {
+		_, err := experiments.E16Meetings(c)
+		return err
+	})
+}
+
+// BenchmarkE17PauseAblation regenerates the way-point-pause ablation.
+func BenchmarkE17PauseAblation(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config) error {
+		_, err := experiments.E17PauseAblation(c)
+		return err
+	})
+}
+
+// BenchmarkE18SnapshotDependence regenerates the snapshot-dependence scan.
+func BenchmarkE18SnapshotDependence(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config) error {
+		_, err := experiments.E18SnapshotDependence(c)
+		return err
+	})
+}
+
+// --- micro-benchmarks of the simulator's hot loops ---
+
+// BenchmarkWorldStep10k measures one lockstep move + index rebuild for
+// 10000 MRWP agents.
+func BenchmarkWorldStep10k(b *testing.B) {
+	s, err := New(StandardConfig(10000, 4, 0.3, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkFloodStep4k measures one flooding step (move + transmissions)
+// at 4000 agents.
+func BenchmarkFloodStep4k(b *testing.B) {
+	s, err := New(StandardConfig(4000, 4, 0.3, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Drive a run manually so each iteration is one step; restart the
+	// flood when it completes.
+	res, err := s.Flood(FloodOptions{MaxSteps: 1})
+	_ = res
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Flood(FloodOptions{MaxSteps: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullFlood2k measures a complete flooding run at 2000 agents.
+func BenchmarkFullFlood2k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := New(StandardConfig(2000, 5, 0.4, uint64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Flood(FloodOptions{MaxSteps: 100000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStationaryInit10k measures perfect-simulation initialization of
+// 10000 agents.
+func BenchmarkStationaryInit10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := New(StandardConfig(10000, 4, 0.3, uint64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command densitymap regenerates the paper's Figure 1: the stationary
+// spatial density over the square (gray gradient) and the destination
+// distribution of an agent at (L/3, L/4) (the blue cross).
+//
+// Usage:
+//
+//	densitymap [-l 100] [-bins 40] [-mode theory|empirical] [-n 20000]
+//	           [-steps 100] [-seed 1] [-pgm out.pgm]
+//
+// theory mode evaluates Theorem 1's closed form; empirical mode histograms
+// a stationary simulation. Both print an ASCII heat map; -pgm additionally
+// writes a grayscale image.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	manhattan "manhattanflood"
+	"manhattanflood/internal/cells"
+	"manhattanflood/internal/dist"
+	"manhattanflood/internal/geom"
+	"manhattanflood/internal/stats"
+	"manhattanflood/internal/trace"
+)
+
+func main() {
+	l := flag.Float64("l", 100, "square side")
+	bins := flag.Int("bins", 40, "heat map resolution")
+	mode := flag.String("mode", "theory", "theory or empirical")
+	n := flag.Int("n", 20000, "agents (empirical mode)")
+	steps := flag.Int("steps", 100, "snapshots to accumulate (empirical mode)")
+	seed := flag.Uint64("seed", 1, "random seed (empirical mode)")
+	pgm := flag.String("pgm", "", "write a PGM image to this path")
+	zones := flag.Bool("zones", false, "also print the Definition 4 Central-Zone/Suburb cell map")
+	zoneN := flag.Int("zone-n", 20000, "agent count used for the zone map's Definition 4 threshold")
+	zoneR := flag.Float64("zone-r", 0, "transmission radius for the zone map (0 = L/20)")
+	flag.Parse()
+
+	var field [][]float64
+	switch *mode {
+	case "theory":
+		f, err := manhattan.DensityField(*l, *bins)
+		if err != nil {
+			fatal(err)
+		}
+		field = f
+	case "empirical":
+		sim, err := manhattan.New(manhattan.Config{N: *n, L: *l, R: 2, V: *l / 500, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		g, err := stats.NewGrid2D(*l, *bins)
+		if err != nil {
+			fatal(err)
+		}
+		for s := 0; s < *steps; s++ {
+			for _, p := range sim.Positions() {
+				g.Add(p.X, p.Y)
+			}
+			sim.Step()
+		}
+		field = make([][]float64, *bins)
+		for iy := 0; iy < *bins; iy++ {
+			field[iy] = make([]float64, *bins)
+			for ix := 0; ix < *bins; ix++ {
+				field[iy][ix] = g.Density(ix, iy)
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	fmt.Printf("Figure 1 — stationary spatial density (%s, L=%.4g, origin bottom-left):\n\n", *mode, *l)
+	fmt.Println(trace.ASCIIHeatmap(field))
+
+	if *pgm != "" {
+		f, err := os.Create(*pgm)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WritePGM(f, field); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *pgm)
+	}
+
+	if *zones {
+		r := *zoneR
+		if r == 0 {
+			r = *l / 20
+		}
+		part, err := cells.NewPartition(*l, r, *zoneN)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Definition 4 partition (n=%d, R=%.4g): %d central / %d suburb cells, S=%.4g\n\n",
+			*zoneN, r, part.CentralCount(), part.SuburbCount(), part.SuburbDiameterS())
+		fmt.Println(part.RenderZones())
+	}
+
+	// Destination cross at the paper's reference point (L/3, L/4).
+	pos := geom.Pt(*l/3, *l/4)
+	d, err := dist.NewDestination(*l, pos)
+	if err != nil {
+		fatal(err)
+	}
+	t := trace.NewTable(fmt.Sprintf("destination law at (L/3, L/4) = (%.4g, %.4g) — Theorem 2", pos.X, pos.Y),
+		"component", "probability mass")
+	t.AddRow("cross total (paper: exactly 1/2)", d.CrossMass())
+	for _, a := range []dist.Arm{dist.ArmSouth, dist.ArmWest, dist.ArmNorth, dist.ArmEast} {
+		t.AddRow("arm "+a.String(), d.ArmProb(a))
+	}
+	for _, q := range []dist.Quadrant{dist.QuadrantSW, dist.QuadrantNE, dist.QuadrantNW, dist.QuadrantSE} {
+		t.AddRow("quadrant "+q.String(), d.QuadrantMass(q))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "densitymap:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command experiments runs the paper-reproduction experiment suite
+// (E01-E14, see DESIGN.md) and prints a measured-vs-paper table for each.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-trials N] [-only E03[,E05,...]]
+//
+// Full-size runs take minutes; -quick completes in seconds at reduced
+// statistical power.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"manhattanflood/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
+	seed := flag.Uint64("seed", 1, "master random seed")
+	trials := flag.Int("trials", 0, "seeds per data point (0 = experiment default)")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%s  %-40s %s\n", r.ID, r.Paper, r.Description)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Seed:   *seed,
+		Trials: *trials,
+		Quick:  *quick,
+		Out:    os.Stdout,
+	}
+
+	if *only == "" {
+		if err := experiments.RunAll(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, id := range strings.Split(*only, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		r, err := experiments.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n=== %s — %s ===\n%s\n\n", r.ID, r.Paper, r.Description)
+		if err := r.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command sweep runs flooding-time parameter sweeps and emits TSV rows —
+// the raw series behind the paper's Theorem 3 shape, ready for gnuplot or
+// spreadsheet import.
+//
+// Usage:
+//
+//	sweep -param r -values 4,5,6,8,12 [-n 4000] [-v 0.3] [-r 5]
+//	      [-trials 5] [-seed 1] [-max-steps 100000] [-source center]
+//
+// -param selects which axis varies (r, v, or n); the corresponding fixed
+// flag is ignored. Output columns: value, mean T, ci95, CZ time, suburb
+// lag, L/R, second-phase term, completed/trials.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	manhattan "manhattanflood"
+	"manhattanflood/internal/stats"
+)
+
+func main() {
+	param := flag.String("param", "r", "swept parameter: r, v, or n")
+	values := flag.String("values", "", "comma-separated values for the swept parameter")
+	n := flag.Int("n", 4000, "agents (fixed unless -param n)")
+	r := flag.Float64("r", 5, "radius (fixed unless -param r)")
+	v := flag.Float64("v", 0.3, "speed (fixed unless -param v)")
+	trials := flag.Int("trials", 5, "seeds per point")
+	seed := flag.Uint64("seed", 1, "base seed")
+	maxSteps := flag.Int("max-steps", 100000, "step budget per run")
+	source := flag.String("source", "center", "source placement: center, corner, random")
+	flag.Parse()
+
+	if *values == "" {
+		fmt.Fprintln(os.Stderr, "sweep: -values is required")
+		os.Exit(2)
+	}
+	var src manhattan.Source
+	switch *source {
+	case "center":
+		src = manhattan.SourceCenter
+	case "corner":
+		src = manhattan.SourceCorner
+	case "random":
+		src = manhattan.SourceRandom
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown source %q\n", *source)
+		os.Exit(2)
+	}
+
+	fmt.Println("value\tmeanT\tci95\tczTime\tsuburbLag\tL_over_R\tsecondTerm\tcompleted")
+	for _, tok := range strings.Split(*values, ",") {
+		val, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: bad value %q: %v\n", tok, err)
+			os.Exit(2)
+		}
+		cn, cr, cv := *n, *r, *v
+		switch *param {
+		case "r":
+			cr = val
+		case "v":
+			cv = val
+		case "n":
+			cn = int(val)
+		default:
+			fmt.Fprintf(os.Stderr, "sweep: unknown param %q\n", *param)
+			os.Exit(2)
+		}
+		l := math.Sqrt(float64(cn))
+		var ts, czs, lags []float64
+		completed := 0
+		for trial := 0; trial < *trials; trial++ {
+			cfg := manhattan.Config{N: cn, L: l, R: cr, V: cv,
+				Seed: *seed + uint64(trial)*0x9e3779b97f4a7c15}
+			sim, err := manhattan.New(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+			res, err := sim.Flood(manhattan.FloodOptions{
+				Source: src, MaxSteps: *maxSteps, TrackZones: true,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+			if !res.Completed {
+				continue
+			}
+			completed++
+			ts = append(ts, float64(res.Time))
+			if res.CZTime >= 0 {
+				czs = append(czs, float64(res.CZTime))
+			}
+			if res.SuburbLag >= 0 {
+				lags = append(lags, float64(res.SuburbLag))
+			}
+		}
+		var sT, sCZ, sLag stats.Summary
+		if len(ts) > 0 {
+			sT, _ = stats.Summarize(ts)
+		}
+		if len(czs) > 0 {
+			sCZ, _ = stats.Summarize(czs)
+		}
+		if len(lags) > 0 {
+			sLag, _ = stats.Summarize(lags)
+		}
+		secondTerm := l * l * l * math.Log(float64(cn)) / (cr * cr * float64(cn) * cv)
+		fmt.Printf("%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%d/%d\n",
+			val, sT.Mean, sT.CI95, sCZ.Mean, sLag.Mean, l/cr, secondTerm, completed, *trials)
+	}
+}

@@ -1,0 +1,93 @@
+package manhattan_test
+
+import (
+	"fmt"
+
+	manhattan "manhattanflood"
+)
+
+// The basic workflow: build a stationary world, flood from the center,
+// compare with the paper's bounds.
+func Example() {
+	cfg := manhattan.StandardConfig(2000, 5, 0.4, 7)
+	sim, err := manhattan.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	res, err := sim.Flood(manhattan.FloodOptions{
+		Source:     manhattan.SourceCenter,
+		MaxSteps:   50000,
+		TrackZones: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("completed:", res.Completed)
+	fmt.Println("all informed:", res.Informed == cfg.N)
+	// Output:
+	// completed: true
+	// all informed: true
+}
+
+// PaperBounds evaluates every closed-form prediction of the paper for a
+// configuration without running anything.
+func ExamplePaperBounds() {
+	b, err := manhattan.PaperBounds(manhattan.StandardConfig(10000, 10, 0.5, 1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Theorem 10 bound 18L/R: %.0f steps\n", b.CentralZoneTime)
+	fmt.Printf("speed assumption v <= R/(3(1+sqrt5)): %v\n", b.SpeedOK)
+	// Output:
+	// Theorem 10 bound 18L/R: 180 steps
+	// speed assumption v <= R/(3(1+sqrt5)): true
+}
+
+// SpatialDensity is Theorem 1's closed form; the center of the square is
+// exactly twice as dense as the middle of an edge, and the corners are
+// empty.
+func ExampleSpatialDensity() {
+	center, _ := manhattan.SpatialDensity(100, 50, 50)
+	edge, _ := manhattan.SpatialDensity(100, 50, 0)
+	corner, _ := manhattan.SpatialDensity(100, 0, 0)
+	fmt.Printf("center/edge ratio: %.0f\n", center/edge)
+	fmt.Printf("corner density: %v\n", corner)
+	// Output:
+	// center/edge ratio: 2
+	// corner density: 0
+}
+
+// Zones exposes the paper's Definition 4 cell partition.
+func ExampleSimulation_Zones() {
+	sim, err := manhattan.New(manhattan.StandardConfig(4000, 5, 0.3, 1))
+	if err != nil {
+		panic(err)
+	}
+	z := sim.Zones()
+	fmt.Println("has central zone:", z.CentralCells > 0)
+	fmt.Println("has suburb:", z.SuburbCells > 0)
+	// Output:
+	// has central zone: true
+	// has suburb: true
+}
+
+// RunProtocol compares dissemination variants on the same world.
+func ExampleSimulation_RunProtocol() {
+	sim, err := manhattan.New(manhattan.StandardConfig(1000, 5, 0.4, 3))
+	if err != nil {
+		panic(err)
+	}
+	res, err := sim.RunProtocol(manhattan.ProtocolOptions{
+		Protocol: manhattan.Parsimonious,
+		P:        0.5,
+		MaxSteps: 50000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("completed:", res.Completed)
+	fmt.Println("transmissions counted:", res.Transmissions > 0)
+	// Output:
+	// completed: true
+	// transmissions counted: true
+}

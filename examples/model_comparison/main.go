@@ -1,0 +1,83 @@
+// Model comparison floods the same message over four mobility models at
+// identical (n, L, R, v): the paper's Manhattan Random Way-Point, the
+// straight-line RWP, and the uniform-density random-walk and
+// random-direction baselines from the authors' earlier analyses.
+//
+// MRWP concentrates agents in a dense, well-connected central zone and
+// drains the corners; the baselines spread them uniformly. The comparison
+// shows how that reshaping moves the flooding time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	manhattan "manhattanflood"
+)
+
+func main() {
+	const (
+		n      = 3000
+		radius = 3 // below the MRWP corner-pocket scale L/n^(1/3) ~ 3.8
+		speed  = 0.3
+		trials = 3
+	)
+
+	models := []manhattan.Model{
+		manhattan.MRWP,
+		manhattan.RWP,
+		manhattan.RandomWalk,
+		manhattan.RandomDirection,
+	}
+
+	fmt.Printf("flooding %d agents, R=%v, v=%v, L=sqrt(n); %d trials per model\n\n",
+		n, radius, speed, trials)
+	fmt.Printf("%-18s %-10s %-14s %-14s\n", "model", "mean T", "mean degree", "connected@t0")
+
+	for _, m := range models {
+		var sumT, sumDeg float64
+		var connected int
+		completed := 0
+		for trial := 0; trial < trials; trial++ {
+			// Mix the model into the seed so the models do not share
+			// identical initial draws.
+			cfg := manhattan.StandardConfig(n, radius, speed,
+				11+uint64(trial)*7919+uint64(m)*104729)
+			cfg.Model = m
+			sim, err := manhattan.New(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			snap, err := sim.Snapshot()
+			if err != nil {
+				log.Fatal(err)
+			}
+			sumDeg += snap.AvgDegree
+			if snap.Connected {
+				connected++
+			}
+			res, err := sim.Flood(manhattan.FloodOptions{
+				Source:   manhattan.SourceRandom,
+				MaxSteps: 300000,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Completed {
+				completed++
+				sumT += float64(res.Time)
+			}
+		}
+		meanT := "-"
+		if completed > 0 {
+			meanT = fmt.Sprintf("%.1f", sumT/float64(completed))
+		}
+		fmt.Printf("%-18s %-10s %-14.2f %d/%d\n",
+			m, meanT, sumDeg/trials, connected, trials)
+	}
+
+	fmt.Println("\nboth way-point models thin out their corners (MRWP's density decays")
+	fmt.Println("linearly in x+y there, straight-line RWP's even faster), so their")
+	fmt.Println("snapshots disconnect long before the uniform baselines would — yet")
+	fmt.Println("all four flood in comparable time: mobility substitutes for links.")
+}

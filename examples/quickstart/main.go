@@ -1,0 +1,50 @@
+// Quickstart: create a stationary MANET under the Manhattan Random
+// Way-Point model, flood a message from the center, and compare the
+// measured flooding time with the paper's bounds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	manhattan "manhattanflood"
+)
+
+func main() {
+	// The paper's standard case: n agents on a sqrt(n) x sqrt(n) square.
+	cfg := manhattan.StandardConfig(4000, 5, 0.3, 42)
+
+	sim, err := manhattan.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	zones := sim.Zones()
+	fmt.Printf("n=%d agents on a %.1f x %.1f square, R=%.1f, v=%.2f\n",
+		cfg.N, cfg.L, cfg.L, cfg.R, cfg.V)
+	fmt.Printf("cell partition: %d central cells, %d suburb cells\n",
+		zones.CentralCells, zones.SuburbCells)
+
+	res, err := sim.Flood(manhattan.FloodOptions{
+		Source:     manhattan.SourceCenter,
+		MaxSteps:   100000,
+		TrackZones: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nflooding time: %d steps\n", res.Time)
+	fmt.Printf("central zone saturated at step %d; suburb lag %d steps\n",
+		res.CZTime, res.SuburbLag)
+
+	bounds, err := manhattan.PaperBounds(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npaper predictions:\n")
+	fmt.Printf("  Theorem 10 central-zone bound 18L/R : %.0f steps\n", bounds.CentralZoneTime)
+	fmt.Printf("  Theorem 3 shape L/R + S-term/v      : %.0f\n", bounds.UpperBound)
+	fmt.Printf("  slow-mobility assumption satisfied  : %v (v <= %.3f)\n",
+		bounds.SpeedOK, bounds.SpeedBound)
+}

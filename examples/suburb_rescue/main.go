@@ -1,0 +1,94 @@
+// Suburb rescue demonstrates the paper's headline surprise: a message
+// starting from an agent stranded in a corner of the Suburb — where the
+// snapshot graph is sparse and highly disconnected, with the transmission
+// radius far below the local connectivity threshold — still floods the
+// whole network in roughly the time needed for the dense Central Zone,
+// plus a lag of order S/v.
+//
+// The mechanism (Lemma 16): agents whose destination law drags them toward
+// the center ferry the message out of the corner, and the stationary
+// destination distribution guarantees a wide flow of such couriers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	manhattan "manhattanflood"
+)
+
+func main() {
+	// R = 3.5 sits just above Definition 4's Central-Zone threshold
+	// (~3.2 at n=4000) and below the corner-pocket connectivity scale
+	// L/n^(1/3) ~ 4: the Central Zone exists and is dense while corner
+	// agents are routinely isolated — the regime the paper's Suburb
+	// analysis is about.
+	cfg := manhattan.StandardConfig(4000, 3.5, 0.3, 7)
+	sim, err := manhattan.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Show how fragile snapshot connectivity is in this regime: sample
+	// independent stationary snapshots and count the disconnected ones.
+	const probes = 20
+	disconnected := 0
+	var comps float64
+	for i := 0; i < probes; i++ {
+		probeCfg := cfg
+		probeCfg.Seed = cfg.Seed + 1000 + uint64(i)
+		probe, err := manhattan.New(probeCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		snap, err := probe.Snapshot()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !snap.Connected {
+			disconnected++
+		}
+		comps += float64(snap.Components)
+	}
+	fmt.Printf("stationary snapshots disconnected: %d/%d (avg %.1f components)\n",
+		disconnected, probes, comps/probes)
+
+	zones := sim.Zones()
+	fmt.Printf("suburb: %d of %d cells; corner diameter S=%.1f\n",
+		zones.SuburbCells, zones.CellsPerSide*zones.CellsPerSide, zones.SuburbDiameter)
+
+	// The source is the agent nearest the square's SW corner — deep in the
+	// Suburb, very likely isolated at t=0.
+	corner, err := sim.Flood(manhattan.FloodOptions{
+		Source:     manhattan.SourceCorner,
+		MaxSteps:   200000,
+		TrackZones: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Same world parameters, fresh run, source at the center.
+	sim2, err := manhattan.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	center, err := sim2.Flood(manhattan.FloodOptions{
+		Source:     manhattan.SourceCenter,
+		MaxSteps:   200000,
+		TrackZones: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nflooding from the SUBURB CORNER: %d steps (CZ saturated at %d, lag %d)\n",
+		corner.Time, corner.CZTime, corner.SuburbLag)
+	fmt.Printf("flooding from the CENTER       : %d steps (CZ saturated at %d, lag %d)\n",
+		center.Time, center.CZTime, center.SuburbLag)
+
+	ratio := float64(corner.Time) / float64(center.Time)
+	fmt.Printf("\ncorner/center flooding-time ratio: %.2f\n", ratio)
+	fmt.Println("\nthe disconnected suburb costs only an additive O(S/v) — not a")
+	fmt.Println("connectivity-repair delay — exactly as Theorem 3 predicts.")
+}

@@ -1,0 +1,84 @@
+package cells
+
+import (
+	"fmt"
+	"math"
+)
+
+// CellSet is a set of cells identified by their row-major index cy*m + cx.
+// It is used for the boundary/expansion analysis of Lemma 9.
+type CellSet map[int]bool
+
+// NewCellSet builds a CellSet from (cx, cy) index pairs.
+func (p *Partition) NewCellSet(idx [][2]int) (CellSet, error) {
+	s := make(CellSet, len(idx))
+	for _, c := range idx {
+		if !p.InBounds(c[0], c[1]) {
+			return nil, fmt.Errorf("cells: index (%d, %d) out of bounds", c[0], c[1])
+		}
+		s[c[1]*p.m+c[0]] = true
+	}
+	return s, nil
+}
+
+// CentralSet returns the set of all Central Zone cells.
+func (p *Partition) CentralSet() CellSet {
+	s := make(CellSet, p.ncz)
+	for i, c := range p.central {
+		if c {
+			s[i] = true
+		}
+	}
+	return s
+}
+
+// Boundary computes the paper's cell-subset boundary
+//
+//	dB = { C in CZ \ B : C adjacent to some C' in B }
+//
+// with 4-adjacency, for a subset B of Central Zone cells. Cells of B that
+// are not in the Central Zone are ignored, matching the paper's definition
+// on subsets of CZ.
+func (p *Partition) Boundary(b CellSet) CellSet {
+	out := make(CellSet)
+	for idx := range b {
+		cx, cy := idx%p.m, idx/p.m
+		if !p.IsCentral(cx, cy) {
+			continue
+		}
+		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx, ny := cx+d[0], cy+d[1]
+			if !p.IsCentral(nx, ny) {
+				continue
+			}
+			nidx := ny*p.m + nx
+			if !b[nidx] {
+				out[nidx] = true
+			}
+		}
+	}
+	return out
+}
+
+// ExpansionSlack returns |dB| - sqrt(min(|B|, |CZ|-|B|)) for a subset B of
+// Central Zone cells (non-CZ members of b are dropped first). Lemma 9
+// asserts the slack is non-negative for every such B. The filtered size of
+// B is returned for reporting.
+func (p *Partition) ExpansionSlack(b CellSet) (slack float64, sizeB int) {
+	filtered := make(CellSet, len(b))
+	for idx := range b {
+		if p.central[idx] {
+			filtered[idx] = true
+		}
+	}
+	sizeB = len(filtered)
+	if sizeB == 0 || sizeB == p.ncz {
+		return 0, sizeB // boundary bound is vacuous at the extremes
+	}
+	boundary := len(p.Boundary(filtered))
+	min := sizeB
+	if r := p.ncz - sizeB; r < min {
+		min = r
+	}
+	return float64(boundary) - math.Sqrt(float64(min)), sizeB
+}

@@ -1,0 +1,203 @@
+package cells
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"manhattanflood/internal/geom"
+)
+
+func TestNewCellSet(t *testing.T) {
+	p := mustPartition(t, 10, 5, 100)
+	s, err := p.NewCellSet([][2]int{{0, 0}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2 {
+		t.Errorf("len = %d", len(s))
+	}
+	if _, err := p.NewCellSet([][2]int{{-1, 0}}); err == nil {
+		t.Error("want bounds error")
+	}
+	if _, err := p.NewCellSet([][2]int{{p.M(), 0}}); err == nil {
+		t.Error("want bounds error")
+	}
+}
+
+func TestCentralSet(t *testing.T) {
+	p := mustPartition(t, 100, 8, 10000)
+	s := p.CentralSet()
+	if len(s) != p.CentralCount() {
+		t.Errorf("CentralSet len %d != CentralCount %d", len(s), p.CentralCount())
+	}
+}
+
+func TestBoundarySingleCell(t *testing.T) {
+	p := mustPartition(t, 100, 8, 10000)
+	// Pick a CZ cell well inside the zone: the center cell.
+	cx, cy := p.CellOf(geom.Pt(p.Side()/2, p.Side()/2))
+	if !p.IsCentral(cx, cy) {
+		t.Fatal("center cell not central")
+	}
+	b, err := p.NewCellSet([][2]int{{cx, cy}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := p.Boundary(b)
+	if len(db) != 4 {
+		t.Errorf("interior cell boundary size = %d, want 4", len(db))
+	}
+	for idx := range db {
+		if b[idx] {
+			t.Error("boundary must be disjoint from B")
+		}
+		if !p.central[idx] {
+			t.Error("boundary cells must be central")
+		}
+	}
+}
+
+func TestBoundaryIgnoresNonCZMembers(t *testing.T) {
+	p := mustPartition(t, 100, 5, 10000)
+	if p.SuburbCount() == 0 {
+		t.Skip("no suburb")
+	}
+	sub := p.SuburbCells()[0]
+	b, err := p.NewCellSet([][2]int{sub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db := p.Boundary(b); len(db) != 0 {
+		t.Errorf("suburb-only set must have empty CZ boundary, got %d", len(db))
+	}
+}
+
+// Lemma 9 (Boundary): |dB| >= sqrt(min(|B|, |CZ|-|B|)) for every subset B
+// of the Central Zone. Verified on random connected blobs, random sparse
+// sets, rows, and rectangles.
+func TestLemma9ExpansionRandomSets(t *testing.T) {
+	p := mustPartition(t, 100, 6, 10000)
+	cz := make([][2]int, 0, p.CentralCount())
+	for cy := 0; cy < p.M(); cy++ {
+		for cx := 0; cx < p.M(); cx++ {
+			if p.IsCentral(cx, cy) {
+				cz = append(cz, [2]int{cx, cy})
+			}
+		}
+	}
+	rng := rand.New(rand.NewPCG(77, 1))
+
+	checkSet := func(name string, b CellSet) {
+		slack, size := p.ExpansionSlack(b)
+		if size == 0 || size == p.CentralCount() {
+			return
+		}
+		if slack < 0 {
+			t.Errorf("%s: Lemma 9 violated, |B|=%d slack=%v", name, size, slack)
+		}
+	}
+
+	// Random sparse subsets of varying density.
+	for trial := 0; trial < 50; trial++ {
+		density := rng.Float64()
+		b := make(CellSet)
+		for _, c := range cz {
+			if rng.Float64() < density {
+				b[c[1]*p.M()+c[0]] = true
+			}
+		}
+		checkSet("sparse", b)
+	}
+
+	// Connected blobs grown by random BFS.
+	for trial := 0; trial < 30; trial++ {
+		start := cz[rng.IntN(len(cz))]
+		target := 1 + rng.IntN(len(cz)-1)
+		b := make(CellSet)
+		frontier := [][2]int{start}
+		b[start[1]*p.M()+start[0]] = true
+		for len(b) < target && len(frontier) > 0 {
+			i := rng.IntN(len(frontier))
+			c := frontier[i]
+			frontier[i] = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := c[0]+d[0], c[1]+d[1]
+				idx := ny*p.M() + nx
+				if p.IsCentral(nx, ny) && !b[idx] {
+					b[idx] = true
+					frontier = append(frontier, [2]int{nx, ny})
+					if len(b) >= target {
+						break
+					}
+				}
+			}
+		}
+		checkSet("blob", b)
+	}
+
+	// Full rows (the structured adversarial family in the proof).
+	for cy := 0; cy < p.M(); cy++ {
+		b := make(CellSet)
+		for cx := 0; cx < p.M(); cx++ {
+			if p.IsCentral(cx, cy) {
+				b[cy*p.M()+cx] = true
+			}
+		}
+		checkSet("row", b)
+	}
+
+	// Axis-aligned rectangles of cells.
+	for trial := 0; trial < 30; trial++ {
+		x1, y1 := rng.IntN(p.M()), rng.IntN(p.M())
+		x2, y2 := x1+rng.IntN(p.M()-x1), y1+rng.IntN(p.M()-y1)
+		b := make(CellSet)
+		for cy := y1; cy <= y2; cy++ {
+			for cx := x1; cx <= x2; cx++ {
+				if p.IsCentral(cx, cy) {
+					b[cy*p.M()+cx] = true
+				}
+			}
+		}
+		checkSet("rect", b)
+	}
+}
+
+func TestExpansionSlackExtremes(t *testing.T) {
+	p := mustPartition(t, 100, 8, 10000)
+	slack, size := p.ExpansionSlack(make(CellSet))
+	if slack != 0 || size != 0 {
+		t.Error("empty set must be vacuous")
+	}
+	slack, size = p.ExpansionSlack(p.CentralSet())
+	if slack != 0 || size != p.CentralCount() {
+		t.Error("full CZ must be vacuous")
+	}
+}
+
+// The Claim 11 growth recurrence: starting from one informed cell and
+// growing by the Lemma 9 expansion each round reaches |CZ| within
+// 5*sqrt(|CZ|) rounds. This validates the arithmetic used in Theorem 10's
+// 18 L/R bound.
+func TestClaim11GrowthRecurrence(t *testing.T) {
+	for _, qbar := range []int{1, 2, 5, 100, 1234, 40000} {
+		q := 1
+		steps := 0
+		limit := int(5*math.Sqrt(float64(qbar))) + 1
+		for q < qbar {
+			min := q
+			if r := qbar - q; r < min {
+				min = r
+			}
+			q += int(math.Sqrt(float64(min)))
+			if int(math.Sqrt(float64(min))) == 0 {
+				q++ // integer floor guard; Claim 11 uses real sqrt >= 1
+			}
+			steps++
+			if steps > limit {
+				t.Fatalf("qbar=%d: recurrence needed > %d steps", qbar, limit)
+			}
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Package cells implements the paper's cell-partition machinery (Section
+// 4): the square is split into m x m cells of side l chosen from the
+// transmission radius R (Inequality 6), each cell is classified as Central
+// Zone or Suburb by its stationary mass (Definition 4), and the package
+// provides the derived structural objects the proofs manipulate — cell
+// cores, cell-subset boundaries (Lemma 9), the Suburb diameter S (Lemma
+// 15), and the Extended Suburb (Lemma 16).
+package cells
+
+import (
+	"fmt"
+	"math"
+
+	"manhattanflood/internal/dist"
+	"manhattanflood/internal/geom"
+)
+
+// Sqrt5 is used by the paper's cell-side inequality R/(1+sqrt5) <= l <=
+// R/sqrt5.
+var sqrt5 = math.Sqrt(5)
+
+// Partition is the paper's cell decomposition of the square for one
+// parameter triple (L, R, n).
+type Partition struct {
+	l       float64 // square side L
+	r       float64 // transmission radius R
+	n       int     // number of agents
+	m       int     // cells per side
+	ell     float64 // cell side
+	thresh  float64 // Definition 4 mass threshold
+	spatial dist.Spatial
+	central []bool // row-major cy*m + cx
+	ncz     int
+}
+
+// Option customizes the partition.
+type Option func(*config)
+
+type config struct {
+	thresholdScale float64
+}
+
+// WithThresholdScale multiplies the Definition 4 mass threshold
+// (3/8 ln n / n) by s. The paper's constants are chosen for the asymptotic
+// proofs (R >= 200 L sqrt(log n / n)); finite-size experiments explore
+// other scales through this hook. s must be positive.
+func WithThresholdScale(s float64) Option {
+	return func(c *config) { c.thresholdScale = s }
+}
+
+// NewPartition builds the cell partition for a square of side l,
+// transmission radius r, and n agents.
+//
+// The number of cells per side is m = ceil(sqrt5 L / R), giving a cell side
+// ell = L/m <= R/sqrt5; for R <= sqrt2 L this also satisfies
+// ell >= R/(1+sqrt5), i.e. the paper's Inequality 6. The cell side is
+// chosen so that an agent anywhere in a cell reaches any agent in the four
+// adjacent cells (diameter of two adjacent cells = l*sqrt5 <= R).
+func NewPartition(l, r float64, n int, opts ...Option) (*Partition, error) {
+	if l <= 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+		return nil, fmt.Errorf("cells: side L must be positive and finite, got %v", l)
+	}
+	if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		return nil, fmt.Errorf("cells: radius R must be positive and finite, got %v", r)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("cells: need at least 2 agents, got %d", n)
+	}
+	cfg := config{thresholdScale: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.thresholdScale <= 0 {
+		return nil, fmt.Errorf("cells: threshold scale must be positive, got %v", cfg.thresholdScale)
+	}
+	sp, err := dist.NewSpatial(l)
+	if err != nil {
+		return nil, fmt.Errorf("cells: %w", err)
+	}
+	m := int(math.Ceil(sqrt5 * l / r))
+	if m < 1 {
+		m = 1
+	}
+	p := &Partition{
+		l:       l,
+		r:       r,
+		n:       n,
+		m:       m,
+		ell:     l / float64(m),
+		thresh:  cfg.thresholdScale * 3.0 / 8.0 * math.Log(float64(n)) / float64(n),
+		spatial: sp,
+		central: make([]bool, m*m),
+	}
+	for cy := 0; cy < m; cy++ {
+		for cx := 0; cx < m; cx++ {
+			mass := p.spatial.CellMass(float64(cx)*p.ell, float64(cy)*p.ell, p.ell)
+			if mass >= p.thresh {
+				p.central[cy*m+cx] = true
+				p.ncz++
+			}
+		}
+	}
+	return p, nil
+}
+
+// M returns the number of cells per side.
+func (p *Partition) M() int { return p.m }
+
+// Ell returns the cell side length l.
+func (p *Partition) Ell() float64 { return p.ell }
+
+// Side returns the square side L.
+func (p *Partition) Side() float64 { return p.l }
+
+// Radius returns the transmission radius R.
+func (p *Partition) Radius() float64 { return p.r }
+
+// Threshold returns the Definition 4 mass threshold in effect.
+func (p *Partition) Threshold() float64 { return p.thresh }
+
+// NumCells returns the total number of cells, m^2.
+func (p *Partition) NumCells() int { return p.m * p.m }
+
+// CentralCount returns |CZ|, the number of Central Zone cells.
+func (p *Partition) CentralCount() int { return p.ncz }
+
+// SuburbCount returns the number of Suburb cells.
+func (p *Partition) SuburbCount() int { return p.m*p.m - p.ncz }
+
+// InBounds reports whether (cx, cy) is a valid cell index.
+func (p *Partition) InBounds(cx, cy int) bool {
+	return cx >= 0 && cx < p.m && cy >= 0 && cy < p.m
+}
+
+// IsCentral reports whether cell (cx, cy) belongs to the Central Zone.
+// Out-of-range indices are not central.
+func (p *Partition) IsCentral(cx, cy int) bool {
+	return p.InBounds(cx, cy) && p.central[cy*p.m+cx]
+}
+
+// CellOf returns the cell indices containing point pt, clamping boundary
+// points inward.
+func (p *Partition) CellOf(pt geom.Point) (cx, cy int) {
+	cx = int(pt.X / p.ell)
+	cy = int(pt.Y / p.ell)
+	if cx >= p.m {
+		cx = p.m - 1
+	}
+	if cy >= p.m {
+		cy = p.m - 1
+	}
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	return cx, cy
+}
+
+// IsCentralPoint reports whether pt lies in a Central Zone cell.
+func (p *Partition) IsCentralPoint(pt geom.Point) bool {
+	return p.IsCentral(p.CellOf(pt))
+}
+
+// CellRect returns the rectangle of cell (cx, cy).
+func (p *Partition) CellRect(cx, cy int) geom.Rect {
+	return geom.Square(geom.Pt(float64(cx)*p.ell, float64(cy)*p.ell), p.ell)
+}
+
+// CoreRect returns the core of cell (cx, cy): the concentric subsquare of
+// side l/3. An agent in the core cannot leave the cell within one time
+// unit when v <= R/(3(1+sqrt5)) (the paper's Inequality 8).
+func (p *Partition) CoreRect(cx, cy int) geom.Rect {
+	return p.CellRect(cx, cy).Shrink(p.ell / 3)
+}
+
+// CellMass returns the stationary probability mass of cell (cx, cy).
+func (p *Partition) CellMass(cx, cy int) float64 {
+	return p.spatial.CellMass(float64(cx)*p.ell, float64(cy)*p.ell, p.ell)
+}
+
+// CentralRows returns the number of row indices containing at least one
+// Central Zone cell. Lemma 6 asserts this is at least m/sqrt2 under the
+// paper's assumptions; by x/y symmetry of the construction the column count
+// is identical.
+func (p *Partition) CentralRows() int {
+	rows := 0
+	for cy := 0; cy < p.m; cy++ {
+		for cx := 0; cx < p.m; cx++ {
+			if p.central[cy*p.m+cx] {
+				rows++
+				break
+			}
+		}
+	}
+	return rows
+}
+
+// SuburbDiameterS returns the paper's S = 3 L^3 ln n / (2 l^2 n) (Lemma
+// 15): an upper bound on both coordinates of any point in the south-west
+// corner of the Suburb, i.e. the Suburb corner diameter.
+func (p *Partition) SuburbDiameterS() float64 {
+	return 3 * p.l * p.l * p.l * math.Log(float64(p.n)) / (2 * p.ell * p.ell * float64(p.n))
+}
+
+// MaxSuburbCornerCoordinate returns the largest coordinate extent of any
+// Suburb cell measured from its nearest corner of the square (the measured
+// counterpart of Lemma 15's bound S). It returns 0 when the Suburb is
+// empty.
+func (p *Partition) MaxSuburbCornerCoordinate() float64 {
+	var max float64
+	for cy := 0; cy < p.m; cy++ {
+		for cx := 0; cx < p.m; cx++ {
+			if p.central[cy*p.m+cx] {
+				continue
+			}
+			rect := p.CellRect(cx, cy)
+			// Distance of the cell's far edge from the nearest vertical and
+			// horizontal sides of the square.
+			fx := math.Min(rect.MaxX, p.l-rect.MinX)
+			fy := math.Min(rect.MaxY, p.l-rect.MinY)
+			if c := math.Max(fx, fy); c > max {
+				max = c
+			}
+		}
+	}
+	return max
+}
+
+// SuburbCells returns the indices (cx, cy) of all Suburb cells.
+func (p *Partition) SuburbCells() [][2]int {
+	out := make([][2]int, 0, p.SuburbCount())
+	for cy := 0; cy < p.m; cy++ {
+		for cx := 0; cx < p.m; cx++ {
+			if !p.central[cy*p.m+cx] {
+				out = append(out, [2]int{cx, cy})
+			}
+		}
+	}
+	return out
+}
+
+// InExtendedSuburb reports whether pt is within Manhattan distance 2S of
+// some Suburb cell (Lemma 16's Extended Suburb). With an empty Suburb it is
+// always false.
+func (p *Partition) InExtendedSuburb(pt geom.Point) bool {
+	s2 := 2 * p.SuburbDiameterS()
+	for cy := 0; cy < p.m; cy++ {
+		for cx := 0; cx < p.m; cx++ {
+			if p.central[cy*p.m+cx] {
+				continue
+			}
+			if p.CellRect(cx, cy).ManhattanDistToRect(pt) <= s2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SpeedBound returns the paper's Inequality 8 speed cap
+// R / (3 (1 + sqrt5)): at or below this speed an agent in a cell core
+// cannot leave its cell within one time unit.
+func (p *Partition) SpeedBound() float64 { return p.r / (3 * (1 + sqrt5)) }
+
+// CheckInequality6 verifies that the constructed cell side satisfies the
+// paper's Inequality 6, R/(1+sqrt5) <= l <= R/sqrt5. With m = ceil(sqrt5
+// L/R) the inequality is guaranteed whenever R <= L; for L < R <= sqrt2 L
+// an integer cell count may not exist inside the interval, in which case
+// the partition keeps the (correctness-critical) upper bound l <= R/sqrt5
+// — adjacent-cell transmission — and only the proof-constant lower bound
+// can fail.
+func (p *Partition) CheckInequality6() error {
+	lo, hi := p.r/(1+sqrt5), p.r/sqrt5
+	if p.ell < lo-1e-12 || p.ell > hi+1e-12 {
+		return fmt.Errorf("cells: cell side %v outside [%v, %v] (R=%v likely exceeds sqrt2*L=%v)",
+			p.ell, lo, hi, p.r, math.Sqrt2*p.l)
+	}
+	return nil
+}
+
+// RenderZones returns an ASCII map of the partition, one character per
+// cell, origin at the bottom-left: '#' for Central Zone cells, '.' for
+// Suburb cells. It is the Definition 4 companion picture to Figure 1.
+func (p *Partition) RenderZones() string {
+	var b []byte
+	for cy := p.m - 1; cy >= 0; cy-- {
+		for cx := 0; cx < p.m; cx++ {
+			if p.central[cy*p.m+cx] {
+				b = append(b, '#')
+			} else {
+				b = append(b, '.')
+			}
+		}
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// CountPerCell bins points into cells, returning row-major counts.
+func (p *Partition) CountPerCell(pts []geom.Point) []int {
+	counts := make([]int, p.m*p.m)
+	for _, pt := range pts {
+		cx, cy := p.CellOf(pt)
+		counts[cy*p.m+cx]++
+	}
+	return counts
+}
+
+// MinCoreAgentsCZ returns the minimum, over all Central Zone cells, of the
+// number of points falling inside the cell core — the quantity the density
+// condition (Lemma 7) lower-bounds by eta*log n. It returns math.MaxInt if
+// the Central Zone is empty.
+func (p *Partition) MinCoreAgentsCZ(pts []geom.Point) int {
+	counts := make([]int, p.m*p.m)
+	for _, pt := range pts {
+		cx, cy := p.CellOf(pt)
+		if !p.central[cy*p.m+cx] {
+			continue
+		}
+		if pt.In(p.CoreRect(cx, cy)) {
+			counts[cy*p.m+cx]++
+		}
+	}
+	min := math.MaxInt
+	for i, c := range counts {
+		if p.central[i] && c < min {
+			min = c
+		}
+	}
+	return min
+}

@@ -1,0 +1,427 @@
+package cells
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"manhattanflood/internal/dist"
+	"manhattanflood/internal/geom"
+)
+
+func mustPartition(t *testing.T, l, r float64, n int, opts ...Option) *Partition {
+	t.Helper()
+	p, err := NewPartition(l, r, n, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPartitionErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		l, r float64
+		n    int
+	}{
+		{"zero-L", 0, 1, 100},
+		{"neg-R", 10, -1, 100},
+		{"nan-L", math.NaN(), 1, 100},
+		{"n-too-small", 10, 1, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewPartition(tt.l, tt.r, tt.n); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+	if _, err := NewPartition(10, 1, 100, WithThresholdScale(0)); err == nil {
+		t.Error("want threshold-scale error")
+	}
+}
+
+func TestInequality6Holds(t *testing.T) {
+	// For any R <= L the constructed cell side satisfies Ineq. 6 exactly.
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		l := 1 + 99*rng.Float64()
+		r := l * rng.Float64()
+		if r < l/1000 {
+			return true // extreme partitions are valid but slow to build
+		}
+		p, err := NewPartition(l, r, 1000)
+		if err != nil {
+			return false
+		}
+		return p.CheckInequality6() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInequality6UpperBoundAlways(t *testing.T) {
+	// The correctness-critical half (l <= R/sqrt5, adjacent-cell
+	// transmission) holds for every R, including L < R <= sqrt2 L.
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		l := 1 + 99*rng.Float64()
+		r := l * math.Sqrt2 * rng.Float64()
+		if r < l/1000 {
+			return true
+		}
+		p, err := NewPartition(l, r, 1000)
+		if err != nil {
+			return false
+		}
+		return p.Ell() <= r/math.Sqrt(5)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionGeometry(t *testing.T) {
+	p := mustPartition(t, 10, 2.3, 500)
+	if p.Side() != 10 || p.Radius() != 2.3 {
+		t.Error("accessors wrong")
+	}
+	if p.M() < 1 || p.Ell() != 10/float64(p.M()) {
+		t.Errorf("m=%d ell=%v inconsistent", p.M(), p.Ell())
+	}
+	if p.NumCells() != p.M()*p.M() {
+		t.Error("NumCells wrong")
+	}
+	if p.CentralCount()+p.SuburbCount() != p.NumCells() {
+		t.Error("CZ + Suburb != all cells")
+	}
+	// Cell rects tile the square.
+	var area float64
+	for cy := 0; cy < p.M(); cy++ {
+		for cx := 0; cx < p.M(); cx++ {
+			area += p.CellRect(cx, cy).Area()
+		}
+	}
+	if math.Abs(area-100) > 1e-9 {
+		t.Errorf("cells tile area %v, want 100", area)
+	}
+}
+
+func TestCellOfRoundTrip(t *testing.T) {
+	p := mustPartition(t, 7, 1.1, 300)
+	f := func(xr, yr float64) bool {
+		x := math.Abs(math.Mod(xr, 7))
+		y := math.Abs(math.Mod(yr, 7))
+		cx, cy := p.CellOf(geom.Pt(x, y))
+		if !p.InBounds(cx, cy) {
+			return false
+		}
+		r := p.CellRect(cx, cy)
+		return geom.Pt(x, y).In(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Boundary points clamp inward.
+	cx, cy := p.CellOf(geom.Pt(7, 7))
+	if cx != p.M()-1 || cy != p.M()-1 {
+		t.Errorf("corner cell = (%d,%d)", cx, cy)
+	}
+	cx, cy = p.CellOf(geom.Pt(-0.1, 7.5))
+	if cx != 0 || cy != p.M()-1 {
+		t.Errorf("out-of-range clamp = (%d,%d)", cx, cy)
+	}
+}
+
+func TestCentralZoneShape(t *testing.T) {
+	// With the standard L = sqrt(n) scaling and a healthy R, the Central
+	// Zone must (a) contain the center, (b) exclude the four corners, and
+	// (c) be symmetric under the square's symmetries.
+	const n = 10000
+	l := math.Sqrt(float64(n))
+	p := mustPartition(t, l, 8, n)
+	m := p.M()
+	if !p.IsCentralPoint(geom.Pt(l/2, l/2)) {
+		t.Error("center must be in the Central Zone")
+	}
+	if p.SuburbCount() == 0 {
+		t.Skip("Suburb empty at this parameterization")
+	}
+	for _, c := range [][2]int{{0, 0}, {m - 1, 0}, {0, m - 1}, {m - 1, m - 1}} {
+		if p.IsCentral(c[0], c[1]) {
+			t.Errorf("corner cell %v must be Suburb", c)
+		}
+	}
+	for cy := 0; cy < m; cy++ {
+		for cx := 0; cx < m; cx++ {
+			v := p.IsCentral(cx, cy)
+			if v != p.IsCentral(cy, cx) ||
+				v != p.IsCentral(m-1-cx, cy) ||
+				v != p.IsCentral(cx, m-1-cy) {
+				t.Fatalf("CZ not symmetric at (%d,%d)", cx, cy)
+			}
+		}
+	}
+}
+
+func TestCentralZoneMonotoneFromCorner(t *testing.T) {
+	// Along the diagonal from the SW corner, once cells become central they
+	// stay central until the symmetric far end: the spatial mass is
+	// monotone toward the center.
+	const n = 40000
+	l := math.Sqrt(float64(n))
+	p := mustPartition(t, l, 10, n)
+	m := p.M()
+	seenCentral := false
+	for c := 0; c <= m/2; c++ {
+		isC := p.IsCentral(c, c)
+		if seenCentral && !isC {
+			t.Fatalf("diagonal cell (%d,%d) suburb after central", c, c)
+		}
+		if isC {
+			seenCentral = true
+		}
+	}
+	if !seenCentral {
+		t.Error("no central cell found on the diagonal")
+	}
+}
+
+func TestLemma6CentralRows(t *testing.T) {
+	// Lemma 6: at least m/sqrt2 rows (and columns) contain CZ cells. The
+	// lemma's proof needs Definition 4's 3/8 constant; it holds for any
+	// (L, R, n) because it only uses the mass formula.
+	// Definition 4's 3/8 threshold makes the Central Zone non-trivial only
+	// above R ~ 1.3 L sqrt(ln n / n); all cases below sit in that regime.
+	for _, tc := range []struct {
+		l, r float64
+		n    int
+	}{
+		{100, 8, 10000},
+		{100, 5, 10000},
+		{200, 7, 40000},
+		{50, 10, 2500},
+	} {
+		p := mustPartition(t, tc.l, tc.r, tc.n)
+		rows := p.CentralRows()
+		min := float64(p.M()) / math.Sqrt2
+		if float64(rows) < min {
+			t.Errorf("L=%v R=%v n=%d: central rows %d < m/sqrt2 = %v",
+				tc.l, tc.r, tc.n, rows, min)
+		}
+	}
+}
+
+func TestCentralZoneEmptyBelowDef4Threshold(t *testing.T) {
+	// Below R ~ 1.12 L sqrt(ln n/n) even the center cell misses Definition
+	// 4's mass threshold, so the Central Zone is empty: the quantitative
+	// flip side of the paper's assumption Ineq. 7 (R >= 200 L sqrt(log
+	// n/n) guarantees a fat CZ; tiny R gives none).
+	p := mustPartition(t, 100, 3, 10000)
+	if p.CentralCount() != 0 {
+		t.Errorf("CZ should be empty at R=3, got %d cells", p.CentralCount())
+	}
+	if p.CentralRows() != 0 {
+		t.Error("no rows can be central with an empty CZ")
+	}
+}
+
+func TestCoreRect(t *testing.T) {
+	p := mustPartition(t, 9, 3, 100)
+	cell := p.CellRect(1, 1)
+	core := p.CoreRect(1, 1)
+	if !cell.Contains(core) {
+		t.Error("core must lie inside its cell")
+	}
+	if math.Abs(core.Width()-p.Ell()/3) > 1e-12 {
+		t.Errorf("core width = %v, want ell/3 = %v", core.Width(), p.Ell()/3)
+	}
+	if core.Center() != cell.Center() {
+		t.Error("core must be concentric with its cell")
+	}
+}
+
+func TestSpeedBound(t *testing.T) {
+	p := mustPartition(t, 10, 2, 100)
+	want := 2 / (3 * (1 + math.Sqrt(5)))
+	if got := p.SpeedBound(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SpeedBound = %v, want %v", got, want)
+	}
+	// Sanity: core agent moving one step at the speed bound stays in cell.
+	// Max move is v in any direction; core-to-cell-edge margin is ell/3.
+	if p.SpeedBound() > p.Ell()/3+1e-12 {
+		t.Error("speed bound exceeds core-to-edge margin")
+	}
+}
+
+func TestCellMassMatchesDist(t *testing.T) {
+	p := mustPartition(t, 10, 2, 1000)
+	sp, _ := dist.NewSpatial(10)
+	var total float64
+	for cy := 0; cy < p.M(); cy++ {
+		for cx := 0; cx < p.M(); cx++ {
+			got := p.CellMass(cx, cy)
+			want := sp.RectMass(p.CellRect(cx, cy))
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("cell (%d,%d) mass %v != rect mass %v", cx, cy, got, want)
+			}
+			total += got
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("cell masses sum to %v, want 1", total)
+	}
+}
+
+func TestSuburbDiameterLemma15(t *testing.T) {
+	// Measured Suburb corner extent must be bounded by S (Lemma 15), at
+	// parameterizations where the paper's Ineq. 9 regime holds.
+	for _, tc := range []struct {
+		l, r float64
+		n    int
+	}{
+		{100, 4, 10000},
+		{100, 6, 10000},
+		{316, 8, 100000},
+	} {
+		p := mustPartition(t, tc.l, tc.r, tc.n)
+		if p.SuburbCount() == 0 {
+			continue
+		}
+		s := p.SuburbDiameterS()
+		measured := p.MaxSuburbCornerCoordinate()
+		if measured > s {
+			t.Errorf("L=%v R=%v n=%d: measured suburb extent %v > S = %v",
+				tc.l, tc.r, tc.n, measured, s)
+		}
+	}
+}
+
+func TestMaxSuburbCornerCoordinateEmptySuburb(t *testing.T) {
+	// Huge R relative to L: every cell is central (Corollary 12 regime).
+	p := mustPartition(t, 10, 14, 1000000)
+	if p.SuburbCount() != 0 {
+		t.Skipf("expected empty suburb, got %d cells", p.SuburbCount())
+	}
+	if got := p.MaxSuburbCornerCoordinate(); got != 0 {
+		t.Errorf("empty suburb extent = %v, want 0", got)
+	}
+}
+
+func TestSuburbCellsAndExtendedSuburb(t *testing.T) {
+	const n = 10000
+	l := math.Sqrt(float64(n))
+	p := mustPartition(t, l, 5, n)
+	sub := p.SuburbCells()
+	if len(sub) != p.SuburbCount() {
+		t.Fatalf("SuburbCells len %d != SuburbCount %d", len(sub), p.SuburbCount())
+	}
+	if len(sub) == 0 {
+		t.Skip("no suburb at this parameterization")
+	}
+	// Any point inside a suburb cell is in the Extended Suburb.
+	c := sub[0]
+	center := p.CellRect(c[0], c[1]).Center()
+	if !p.InExtendedSuburb(center) {
+		t.Error("suburb point must be in the Extended Suburb")
+	}
+	// The square's exact center should be far from the suburb corners when
+	// 2S << L/2.
+	if 2*p.SuburbDiameterS() < l/4 {
+		if p.InExtendedSuburb(geom.Pt(l/2, l/2)) {
+			t.Error("center must not be in the Extended Suburb")
+		}
+	}
+}
+
+func TestCountPerCell(t *testing.T) {
+	p := mustPartition(t, 10, 5, 100)
+	pts := []geom.Point{
+		geom.Pt(0.1, 0.1),
+		geom.Pt(0.2, 0.2),
+		geom.Pt(9.9, 9.9),
+	}
+	counts := p.CountPerCell(pts)
+	var total int
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("counts sum to %d, want 3", total)
+	}
+	cx, cy := p.CellOf(pts[0])
+	if counts[cy*p.M()+cx] != 2 {
+		t.Errorf("SW cell count = %d, want 2", counts[cy*p.M()+cx])
+	}
+}
+
+func TestMinCoreAgentsCZ(t *testing.T) {
+	p := mustPartition(t, 10, 9, 100)
+	// Fill every CZ cell core center with 3 points.
+	var pts []geom.Point
+	for cy := 0; cy < p.M(); cy++ {
+		for cx := 0; cx < p.M(); cx++ {
+			if !p.IsCentral(cx, cy) {
+				continue
+			}
+			c := p.CoreRect(cx, cy).Center()
+			pts = append(pts, c, c, c)
+		}
+	}
+	if got := p.MinCoreAgentsCZ(pts); got != 3 {
+		t.Errorf("MinCoreAgentsCZ = %d, want 3", got)
+	}
+	// With no points every CZ core is empty, so the minimum is 0.
+	if got := p.MinCoreAgentsCZ(nil); got != 0 {
+		t.Errorf("empty points: %d, want 0", got)
+	}
+}
+
+func TestRenderZones(t *testing.T) {
+	const n = 10000
+	l := math.Sqrt(float64(n))
+	p := mustPartition(t, l, 8, n)
+	out := p.RenderZones()
+	lines := 0
+	for _, c := range out {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines != p.M() {
+		t.Fatalf("rendered %d lines, want %d", lines, p.M())
+	}
+	// First character is the top-left cell (cx=0, cy=m-1): a corner, so
+	// Suburb when the suburb is non-empty.
+	if p.SuburbCount() > 0 && out[0] != '.' {
+		t.Errorf("top-left corner rendered %q, want '.'", out[0])
+	}
+	var hashes, dots int
+	for _, c := range out {
+		switch c {
+		case '#':
+			hashes++
+		case '.':
+			dots++
+		}
+	}
+	if hashes != p.CentralCount() || dots != p.SuburbCount() {
+		t.Errorf("rendered %d central/%d suburb, want %d/%d",
+			hashes, dots, p.CentralCount(), p.SuburbCount())
+	}
+}
+
+func TestThresholdScale(t *testing.T) {
+	const n = 10000
+	l := math.Sqrt(float64(n))
+	strict := mustPartition(t, l, 5, n)
+	loose := mustPartition(t, l, 5, n, WithThresholdScale(0.1))
+	if loose.CentralCount() < strict.CentralCount() {
+		t.Error("lower threshold must not shrink the Central Zone")
+	}
+	if loose.Threshold() >= strict.Threshold() {
+		t.Error("threshold scaling not applied")
+	}
+}

@@ -1,0 +1,240 @@
+// Package core implements the paper's subject: the flooding process over a
+// MANET and the measurement of its flooding time, with zone-resolved
+// (Central Zone vs Suburb) completion tracking, the cell-level "informed
+// cell" view used by Theorem 10, and gossip-style protocol variants for
+// ablation.
+//
+// The flooding mechanism is the paper's verbatim rule: an agent informed at
+// step t transmits at every subsequent step; a non-informed agent becomes
+// informed at step t iff some agent informed before t is within the
+// transmission radius R at step t.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"manhattanflood/internal/cells"
+	"manhattanflood/internal/geom"
+	"manhattanflood/internal/sim"
+)
+
+// Flooding runs the paper's flooding protocol over a sim.World.
+type Flooding struct {
+	w             *sim.World
+	informed      []bool
+	count         int
+	source        int
+	chainWithin   bool
+	part          *cells.Partition
+	czTime        int // first step with every CZ cell informed; -1 until then
+	series        []int
+	recordSeries  bool
+	newlyInformed []int32 // scratch
+}
+
+// FloodOption customizes a Flooding run.
+type FloodOption func(*Flooding)
+
+// WithinStepChaining enables the epidemic ablation: information relays
+// through chains of agents within a single step (newly informed agents
+// transmit immediately). The paper's protocol is strictly one hop per step;
+// chaining bounds how much the one-hop rule costs.
+func WithinStepChaining(on bool) FloodOption {
+	return func(f *Flooding) { f.chainWithin = on }
+}
+
+// WithPartition attaches a cell partition so the run tracks the first time
+// every Central Zone cell is informed (a cell is informed when every agent
+// currently inside it is informed, Theorem 10's notion).
+func WithPartition(p *cells.Partition) FloodOption {
+	return func(f *Flooding) { f.part = p }
+}
+
+// WithSeries records the informed-agent count after every step,
+// retrievable via Series.
+func WithSeries(on bool) FloodOption {
+	return func(f *Flooding) { f.recordSeries = on }
+}
+
+// NewFlooding creates a flooding process over w with the given source
+// agent, which is the only informed agent at time 0.
+func NewFlooding(w *sim.World, source int, opts ...FloodOption) (*Flooding, error) {
+	if w == nil {
+		return nil, fmt.Errorf("core: nil world")
+	}
+	if source < 0 || source >= w.N() {
+		return nil, fmt.Errorf("core: source %d out of range [0, %d)", source, w.N())
+	}
+	f := &Flooding{
+		w:        w,
+		informed: make([]bool, w.N()),
+		count:    1,
+		source:   source,
+		czTime:   -1,
+	}
+	f.informed[source] = true
+	for _, o := range opts {
+		o(f)
+	}
+	if f.recordSeries {
+		f.series = append(f.series, 1)
+	}
+	f.updateCZ()
+	return f, nil
+}
+
+// Source returns the source agent id.
+func (f *Flooding) Source() int { return f.source }
+
+// InformedCount returns the current number of informed agents.
+func (f *Flooding) InformedCount() int { return f.count }
+
+// IsInformed reports whether agent i is informed.
+func (f *Flooding) IsInformed(i int) bool { return f.informed[i] }
+
+// Done reports whether every agent is informed.
+func (f *Flooding) Done() bool { return f.count == f.w.N() }
+
+// Series returns the informed-count time series (index = step), if enabled.
+func (f *Flooding) Series() []int { return f.series }
+
+// CZInformedTime returns the first step at which every Central Zone cell
+// was informed, or -1 if that has not happened (or no partition was
+// attached).
+func (f *Flooding) CZInformedTime() int { return f.czTime }
+
+// Step advances the world one time unit and performs one transmission
+// round. It returns the number of newly informed agents.
+func (f *Flooding) Step() int {
+	f.w.Step()
+	ix := f.w.Index()
+	pos := f.w.Positions()
+	f.newlyInformed = f.newlyInformed[:0]
+	for i := range f.informed {
+		if f.informed[i] {
+			continue
+		}
+		if ix.HasNeighborWhere(pos[i], i, func(j int) bool { return f.informed[j] }) {
+			f.newlyInformed = append(f.newlyInformed, int32(i))
+		}
+	}
+	for _, i := range f.newlyInformed {
+		f.informed[i] = true
+	}
+	f.count += len(f.newlyInformed)
+	newly := len(f.newlyInformed)
+
+	if f.chainWithin && newly > 0 {
+		// Epidemic closure within the snapshot: repeat until no change.
+		for {
+			var more int
+			for i := range f.informed {
+				if f.informed[i] {
+					continue
+				}
+				if ix.HasNeighborWhere(pos[i], i, func(j int) bool { return f.informed[j] }) {
+					f.informed[i] = true
+					f.count++
+					more++
+				}
+			}
+			newly += more
+			if more == 0 {
+				break
+			}
+		}
+	}
+
+	if f.recordSeries {
+		f.series = append(f.series, f.count)
+	}
+	f.updateCZ()
+	return newly
+}
+
+// updateCZ records the first step at which every Central Zone cell is
+// informed (contains no uninformed agent).
+func (f *Flooding) updateCZ() {
+	if f.part == nil || f.czTime >= 0 {
+		return
+	}
+	pos := f.w.Positions()
+	for i, inf := range f.informed {
+		if !inf && f.part.IsCentralPoint(pos[i]) {
+			return
+		}
+	}
+	f.czTime = f.w.Time()
+}
+
+// Result summarizes a completed (or truncated) flooding run.
+type Result struct {
+	// Completed reports whether every agent was informed within the budget.
+	Completed bool
+	// Time is the flooding time (steps until all informed); when not
+	// Completed it holds the step budget that was exhausted.
+	Time int
+	// CZTime is the first step with all Central Zone cells informed
+	// (-1 when unknown or no partition was attached).
+	CZTime int
+	// SuburbLag is Time - CZTime when both are known, else -1. It is the
+	// paper's "second phase": the extra time the sparse Suburb needs after
+	// the Central Zone is saturated, bounded by O(S/v) in Theorem 3.
+	SuburbLag int
+	// Informed is the number of informed agents at the end.
+	Informed int
+	// N is the total number of agents.
+	N int
+}
+
+// Run steps the flooding process until every agent is informed or maxSteps
+// steps have elapsed.
+func (f *Flooding) Run(maxSteps int) (Result, error) {
+	if maxSteps < 0 {
+		return Result{}, fmt.Errorf("core: negative step budget %d", maxSteps)
+	}
+	deadline := f.w.Time() + maxSteps
+	for !f.Done() && f.w.Time() < deadline {
+		f.Step()
+	}
+	res := Result{
+		Completed: f.Done(),
+		Time:      f.w.Time(),
+		CZTime:    f.czTime,
+		SuburbLag: -1,
+		Informed:  f.count,
+		N:         f.w.N(),
+	}
+	if res.Completed && f.czTime >= 0 {
+		res.SuburbLag = res.Time - f.czTime
+	}
+	return res, nil
+}
+
+// SourcePair returns two deterministic source choices in w: the agent
+// nearest the square's center (a Central Zone source) and the agent
+// nearest the origin (a south-west Suburb corner source). Theorem 3's
+// proof distinguishes exactly these two cases.
+func SourcePair(w *sim.World) (central, suburb int) {
+	l := w.Params().L
+	central = w.NearestAgent(geom.Pt(l/2, l/2))
+	suburb = w.NearestAgent(geom.Pt(0, 0))
+	return central, suburb
+}
+
+// MeetingRadius returns the paper's meeting radius (3/4)R used in Lemma 16:
+// two agents "meet" when within (3/4)R, which guarantees an information
+// hand-off within the following time unit under the speed bound Ineq. 8.
+func MeetingRadius(r float64) float64 { return 0.75 * r }
+
+// TheoreticalMinSteps returns ceil(d / v), the minimum number of steps for
+// information to physically traverse distance d when carried by agents of
+// speed v with zero transmission range — a crude sanity floor used in
+// tests.
+func TheoreticalMinSteps(d, v float64) int {
+	if v <= 0 {
+		return math.MaxInt
+	}
+	return int(math.Ceil(d / v))
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"manhattanflood/internal/sim"
+)
+
+// ParsimoniousFlooding is the probabilistic-forwarding variant studied by
+// Baumann, Crescenzi and Fraigniaud (the paper's reference [3]): every
+// informed agent transmits at each step independently with probability p.
+// With p = 1 it coincides with plain flooding. It trades completion time
+// for transmission count — both are reported.
+type ParsimoniousFlooding struct {
+	w        *sim.World
+	p        float64
+	rng      *rand.Rand
+	informed []bool
+	count    int
+	// Transmissions counts how many agent-transmissions were performed.
+	transmissions int64
+}
+
+// NewParsimoniousFlooding creates the variant with forwarding probability
+// p in (0, 1].
+func NewParsimoniousFlooding(w *sim.World, source int, p float64, seed uint64) (*ParsimoniousFlooding, error) {
+	if w == nil {
+		return nil, fmt.Errorf("core: nil world")
+	}
+	if source < 0 || source >= w.N() {
+		return nil, fmt.Errorf("core: source %d out of range [0, %d)", source, w.N())
+	}
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("core: forwarding probability %v outside (0, 1]", p)
+	}
+	f := &ParsimoniousFlooding{
+		w:        w,
+		p:        p,
+		rng:      rand.New(rand.NewPCG(seed, 0xf100d)),
+		informed: make([]bool, w.N()),
+		count:    1,
+	}
+	f.informed[source] = true
+	return f, nil
+}
+
+// InformedCount returns the number of informed agents.
+func (f *ParsimoniousFlooding) InformedCount() int { return f.count }
+
+// Transmissions returns the cumulative number of transmissions performed.
+func (f *ParsimoniousFlooding) Transmissions() int64 { return f.transmissions }
+
+// Done reports whether every agent is informed.
+func (f *ParsimoniousFlooding) Done() bool { return f.count == f.w.N() }
+
+// Step advances the world and performs one probabilistic transmission
+// round, returning the number of newly informed agents.
+func (f *ParsimoniousFlooding) Step() int {
+	f.w.Step()
+	ix := f.w.Index()
+	pos := f.w.Positions()
+	// Decide which informed agents transmit this round.
+	active := make([]bool, len(f.informed))
+	for i, inf := range f.informed {
+		if inf && f.rng.Float64() < f.p {
+			active[i] = true
+			f.transmissions++
+		}
+	}
+	var newly []int32
+	for i := range f.informed {
+		if f.informed[i] {
+			continue
+		}
+		if ix.HasNeighborWhere(pos[i], i, func(j int) bool { return active[j] }) {
+			newly = append(newly, int32(i))
+		}
+	}
+	for _, i := range newly {
+		f.informed[i] = true
+	}
+	f.count += len(newly)
+	return len(newly)
+}
+
+// Run steps until completion or maxSteps, returning (floodingTime,
+// completed).
+func (f *ParsimoniousFlooding) Run(maxSteps int) (int, bool) {
+	for s := 0; s < maxSteps && !f.Done(); s++ {
+		f.Step()
+	}
+	return f.w.Time(), f.Done()
+}
+
+// KGossip is the push-gossip variant: each informed agent forwards to at
+// most k uniformly chosen neighbors per step instead of broadcasting to
+// all. It models degree-limited radios; flooding is the k = infinity case.
+type KGossip struct {
+	w        *sim.World
+	k        int
+	rng      *rand.Rand
+	informed []bool
+	count    int
+	scratch  []int
+}
+
+// NewKGossip creates the variant with fan-out k >= 1.
+func NewKGossip(w *sim.World, source, k int, seed uint64) (*KGossip, error) {
+	if w == nil {
+		return nil, fmt.Errorf("core: nil world")
+	}
+	if source < 0 || source >= w.N() {
+		return nil, fmt.Errorf("core: source %d out of range [0, %d)", source, w.N())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: fan-out k must be >= 1, got %d", k)
+	}
+	g := &KGossip{
+		w:        w,
+		k:        k,
+		rng:      rand.New(rand.NewPCG(seed, 0x905517)),
+		informed: make([]bool, w.N()),
+		count:    1,
+	}
+	g.informed[source] = true
+	return g, nil
+}
+
+// InformedCount returns the number of informed agents.
+func (g *KGossip) InformedCount() int { return g.count }
+
+// Done reports whether every agent is informed.
+func (g *KGossip) Done() bool { return g.count == g.w.N() }
+
+// Step advances the world and performs one gossip round, returning the
+// number of newly informed agents.
+func (g *KGossip) Step() int {
+	g.w.Step()
+	ix := g.w.Index()
+	pos := g.w.Positions()
+	var newly []int32
+	marked := make(map[int32]bool)
+	for i, inf := range g.informed {
+		if !inf {
+			continue
+		}
+		g.scratch = ix.Neighbors(pos[i], i, g.scratch[:0])
+		// Reservoir-free selection: shuffle a copy of up to k targets.
+		cand := g.scratch
+		for pick := 0; pick < g.k && len(cand) > 0; pick++ {
+			j := g.rng.IntN(len(cand))
+			target := int32(cand[j])
+			cand[j] = cand[len(cand)-1]
+			cand = cand[:len(cand)-1]
+			if !g.informed[target] && !marked[target] {
+				marked[target] = true
+				newly = append(newly, target)
+			}
+		}
+	}
+	for _, i := range newly {
+		g.informed[i] = true
+	}
+	g.count += len(newly)
+	return len(newly)
+}
+
+// Run steps until completion or maxSteps, returning (floodingTime,
+// completed).
+func (g *KGossip) Run(maxSteps int) (int, bool) {
+	for s := 0; s < maxSteps && !g.Done(); s++ {
+		g.Step()
+	}
+	return g.w.Time(), g.Done()
+}

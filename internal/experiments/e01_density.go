@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"manhattanflood/internal/dist"
+	"manhattanflood/internal/sim"
+	"manhattanflood/internal/stats"
+	"manhattanflood/internal/trace"
+)
+
+// E01Result quantifies how closely the simulated stationary spatial
+// distribution matches Theorem 1 (the paper's Fig. 1 gray gradient).
+type E01Result struct {
+	N, Steps, Bins int
+	L1             float64 // integral |empirical - f| over the square (in [0,2])
+	MaxAbs         float64 // worst cell density error
+	// RatioEmpirical / RatioPredicted compare center-cell density to the
+	// corner-cell density — the center/suburb contrast of Fig. 1.
+	RatioEmpirical float64
+	RatioPredicted float64
+	Heatmap        string // ASCII rendition of the empirical field
+}
+
+// E01SpatialDensity runs the experiment.
+func E01SpatialDensity(cfg Config) (E01Result, error) {
+	n := pick(cfg, 4000, 800)
+	steps := pick(cfg, 150, 60)
+	bins := pick(cfg, 24, 8)
+	l := 100.0
+
+	w, err := sim.NewWorld(sim.Params{N: n, L: l, R: 2, V: 0.2, Seed: cfg.Seed ^ 0xe01}, nil)
+	if err != nil {
+		return E01Result{}, err
+	}
+	sp, err := dist.NewSpatial(l)
+	if err != nil {
+		return E01Result{}, err
+	}
+	g, err := stats.NewGrid2D(l, bins)
+	if err != nil {
+		return E01Result{}, err
+	}
+	for s := 0; s < steps; s++ {
+		for _, p := range w.Positions() {
+			g.Add(p.X, p.Y)
+		}
+		w.Step()
+	}
+	_, maxAbs, l1 := g.CompareDensity(sp.Density)
+
+	center := bins / 2
+	cornerDensity := g.Density(0, 0)
+	ratioEmp := 0.0
+	if cornerDensity > 0 {
+		ratioEmp = g.Density(center, center) / cornerDensity
+	}
+	ccx, ccy := g.CellCenter(center, center)
+	kx, ky := g.CellCenter(0, 0)
+	ratioPred := sp.Density(ccx, ccy) / sp.Density(kx, ky)
+
+	field := make([][]float64, bins)
+	for iy := 0; iy < bins; iy++ {
+		field[iy] = make([]float64, bins)
+		for ix := 0; ix < bins; ix++ {
+			field[iy][ix] = g.Density(ix, iy)
+		}
+	}
+
+	return E01Result{
+		N: n, Steps: steps, Bins: bins,
+		L1: l1, MaxAbs: maxAbs,
+		RatioEmpirical: ratioEmp,
+		RatioPredicted: ratioPred,
+		Heatmap:        trace.ASCIIHeatmap(field),
+	}, nil
+}
+
+func runE01(cfg Config) error {
+	res, err := E01SpatialDensity(cfg)
+	if err != nil {
+		return err
+	}
+	t := trace.NewTable("E01 stationary spatial density vs Theorem 1",
+		"quantity", "measured", "paper-predicted")
+	t.AddRow("L1 distance to f(x,y)", res.L1, 0.0)
+	t.AddRow("max |density error|", res.MaxAbs, 0.0)
+	t.AddRow("center/corner density ratio", res.RatioEmpirical, res.RatioPredicted)
+	if err := render(cfg, t); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(cfg.out(), "\nempirical density heat map (origin bottom-left):\n%s\n", res.Heatmap)
+	return err
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"math"
+
+	"manhattanflood/internal/cells"
+	"manhattanflood/internal/stats"
+	"manhattanflood/internal/trace"
+)
+
+// E06Point is one row of the Suburb-extent scan.
+type E06Point struct {
+	N           int
+	L, R        float64
+	SuburbCells int
+	Measured    float64 // max corner coordinate of any Suburb cell
+	BoundS      float64 // Lemma 15's S
+	Ratio       float64 // Measured / BoundS (must be <= 1)
+}
+
+// E06Result verifies Lemma 15 across a sweep of n (with L = sqrt(n) and
+// proportionally scaled R): the measured Suburb corner extent never exceeds
+// S, and the two scale together.
+type E06Result struct {
+	Points []E06Point
+	// ScalingAlpha is the fitted exponent of Measured vs BoundS in log-log
+	// space (1.0 = exact proportional scaling).
+	ScalingAlpha float64
+	AllBounded   bool
+}
+
+// E06SuburbDiameter runs the experiment. It is pure geometry (no
+// simulation): the Suburb is a deterministic function of (n, L, R).
+func E06SuburbDiameter(cfg Config) (E06Result, error) {
+	ns := pick(cfg, []int{2000, 8000, 32000, 128000}, []int{2000, 32000})
+	res := E06Result{AllBounded: true}
+	var xs, ys []float64
+	for _, n := range ns {
+		l := math.Sqrt(float64(n))
+		// Keep R at a fixed multiple of the L*sqrt(log n / n) scale, chosen
+		// so that both the Central Zone and the Suburb are non-empty at
+		// every n in the sweep (the Suburb empties above ~2.8x at n=2000).
+		r := 2.2 * l * math.Sqrt(logf(n)/float64(n))
+		p, err := cells.NewPartition(l, r, n)
+		if err != nil {
+			return res, err
+		}
+		point := E06Point{
+			N: n, L: l, R: r,
+			SuburbCells: p.SuburbCount(),
+			Measured:    p.MaxSuburbCornerCoordinate(),
+			BoundS:      p.SuburbDiameterS(),
+		}
+		if point.BoundS > 0 {
+			point.Ratio = point.Measured / point.BoundS
+		}
+		if point.Measured > point.BoundS {
+			res.AllBounded = false
+		}
+		res.Points = append(res.Points, point)
+		if point.Measured > 0 && point.BoundS > 0 {
+			xs = append(xs, point.BoundS)
+			ys = append(ys, point.Measured)
+		}
+	}
+	if len(xs) >= 2 {
+		if alpha, _, err := stats.PowerLawFit(xs, ys); err == nil {
+			res.ScalingAlpha = alpha
+		}
+	}
+	return res, nil
+}
+
+func runE06(cfg Config) error {
+	res, err := E06SuburbDiameter(cfg)
+	if err != nil {
+		return err
+	}
+	t := trace.NewTable("E06 Suburb corner extent vs Lemma 15's S  (L=sqrt(n), R = 2.2 L sqrt(ln n/n))",
+		"n", "R", "suburb cells", "measured extent", "S (paper)", "measured/S")
+	for _, p := range res.Points {
+		t.AddRow(p.N, p.R, p.SuburbCells, p.Measured, p.BoundS, p.Ratio)
+	}
+	if err := render(cfg, t); err != nil {
+		return err
+	}
+	f := trace.NewTable("E06 scaling fit", "alpha (measured ~ S^alpha)", "all within bound")
+	f.AddRow(res.ScalingAlpha, res.AllBounded)
+	return render(cfg, f)
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"math"
+
+	"manhattanflood/internal/cells"
+	"manhattanflood/internal/geom"
+	"manhattanflood/internal/graph"
+	"manhattanflood/internal/sim"
+	"manhattanflood/internal/theory"
+	"manhattanflood/internal/trace"
+)
+
+// E08Point is one row of the connectivity scan.
+type E08Point struct {
+	R             float64
+	ConnectedFrac float64 // fraction of snapshots with G_t connected
+	GiantFrac     float64 // mean largest-component fraction
+	MeanIsolated  float64 // mean number of degree-0 agents per snapshot
+	CZCells       int     // Central Zone size at this R (0: CZ stats n/a)
+	CZConnected   float64 // fraction of snapshots with the CZ subgraph connected
+	CZGiantFrac   float64
+}
+
+// E08Result quantifies the paper's Section 1 connectivity discussion: the
+// whole-square snapshot stays disconnected far beyond the uniform
+// Theta(sqrt(log n)) threshold (because of the Suburb corners), while the
+// Central Zone subgraph connects much earlier.
+type E08Result struct {
+	N                int
+	L                float64
+	UniformThreshold float64 // Theta(sqrt(log n)) scale, rescaled to L
+	MRWPThreshold    float64 // L / n^(1/3) corner-pocket scale
+	Points           []E08Point
+}
+
+// E08Connectivity runs the experiment on independent stationary snapshots
+// (no time stepping needed — connectivity is a per-snapshot property).
+func E08Connectivity(cfg Config) (E08Result, error) {
+	n := pick(cfg, 4000, 800)
+	l := math.Sqrt(float64(n))
+	// 3.5 sits in the paper's interesting window: above Definition 4's
+	// CZ-existence threshold (~3.2 at n=4000) but below whole-square
+	// connectivity — the CZ subgraph connects while corners stay cut off.
+	radii := pick(cfg, []float64{1, 1.5, 2, 3, 3.5, 4, 6, 9}, []float64{1.5, 4})
+	snapshots := cfg.trials(10, 3)
+
+	res := E08Result{
+		N: n, L: l,
+		UniformThreshold: theory.UniformConnectivityThreshold(n, l),
+		MRWPThreshold:    theory.MRWPConnectivityThreshold(n, l),
+	}
+	for _, r := range radii {
+		part, err := cells.NewPartition(l, r, n)
+		if err != nil {
+			return res, err
+		}
+		var p E08Point
+		p.R = r
+		p.CZCells = part.CentralCount()
+		for s := 0; s < snapshots; s++ {
+			w, err := sim.NewWorld(sim.Params{N: n, L: l, R: r, V: 0.1,
+				Seed: cfg.Seed ^ 0xe08 + uint64(s)*31 + uint64(r*1000)}, nil)
+			if err != nil {
+				return res, err
+			}
+			g, err := w.SnapshotGraph()
+			if err != nil {
+				return res, err
+			}
+			if g.IsConnected() {
+				p.ConnectedFrac++
+			}
+			p.GiantFrac += g.GiantFraction()
+			p.MeanIsolated += float64(g.IsolatedCount())
+
+			// Central Zone subgraph: agents currently in CZ cells only.
+			var czPts []geom.Point
+			for _, pos := range w.Positions() {
+				if part.IsCentralPoint(pos) {
+					czPts = append(czPts, pos)
+				}
+			}
+			if len(czPts) > 0 {
+				cg, err := graph.NewDisk(czPts, l, r)
+				if err != nil {
+					return res, err
+				}
+				if cg.IsConnected() {
+					p.CZConnected++
+				}
+				p.CZGiantFrac += cg.GiantFraction()
+			}
+		}
+		p.ConnectedFrac /= float64(snapshots)
+		p.GiantFrac /= float64(snapshots)
+		p.MeanIsolated /= float64(snapshots)
+		p.CZConnected /= float64(snapshots)
+		p.CZGiantFrac /= float64(snapshots)
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+func runE08(cfg Config) error {
+	res, err := E08Connectivity(cfg)
+	if err != nil {
+		return err
+	}
+	t := trace.NewTable("E08 snapshot connectivity  (n="+itoa(res.N)+", L=sqrt(n))",
+		"R", "P(G connected)", "giant frac", "mean isolated", "CZ cells", "P(CZ connected)", "CZ giant frac")
+	for _, p := range res.Points {
+		if p.CZCells == 0 {
+			t.AddRow(p.R, p.ConnectedFrac, p.GiantFrac, p.MeanIsolated, 0, "n/a", "n/a")
+			continue
+		}
+		t.AddRow(p.R, p.ConnectedFrac, p.GiantFrac, p.MeanIsolated, p.CZCells, p.CZConnected, p.CZGiantFrac)
+	}
+	if err := render(cfg, t); err != nil {
+		return err
+	}
+	f := trace.NewTable("E08 thresholds (paper, Section 1)",
+		"uniform Theta(sqrt(log n)) scale", "MRWP corner scale L/n^(1/3)")
+	f.AddRow(res.UniformThreshold, res.MRWPThreshold)
+	return render(cfg, f)
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"manhattanflood/internal/mobility"
+	"manhattanflood/internal/theory"
+	"manhattanflood/internal/trace"
+)
+
+// E09Point is one row of the turn-count scan.
+type E09Point struct {
+	Tau       float64
+	MaxTurns  int64   // max turns by any agent in any window of length tau
+	MeanTurns float64 // mean turns per window
+	Bound     float64 // Lemma 13's 4 log n / log(L/(v tau))
+	Within    bool
+}
+
+// E09Result verifies Lemma 13: over every window [t, t+tau] within the
+// Lemma's validity range, no agent performs more than
+// 4 log n / log(L/(v tau)) turns, w.h.p.
+type E09Result struct {
+	N      int
+	L, V   float64
+	Agents int
+	Points []E09Point
+	AllOK  bool
+}
+
+// E09Turns runs the experiment by simulating independent MRWP agents and
+// sliding windows over their cumulative turn counters.
+func E09Turns(cfg Config) (E09Result, error) {
+	n := pick(cfg, 10000, 2000) // the "n" in the bound (population size)
+	agents := pick(cfg, 300, 60)
+	l := math.Sqrt(float64(n))
+	v := 0.25
+	// Lemma 13 is valid for tau in [L/(nv), L/(4v)]; sample the window at
+	// fixed fractions of its upper end.
+	tauMax := l / (4 * v)
+	taus := []float64{0.25 * tauMax, 0.5 * tauMax, 0.75 * tauMax, tauMax}
+	if cfg.Quick {
+		taus = []float64{0.5 * tauMax, tauMax}
+	}
+	horizon := pick(cfg, 4000, 800)
+
+	m, err := mobility.NewMRWP(mobility.Config{L: l, V: v})
+	if err != nil {
+		return E09Result{}, err
+	}
+	// turnsAt[a][t] = cumulative turns of agent a after t steps.
+	turnsAt := make([][]int64, agents)
+	for a := 0; a < agents; a++ {
+		rng := rand.New(rand.NewPCG(cfg.Seed^0xe09, uint64(a)))
+		ag := m.NewMRWPAgent(rng)
+		turnsAt[a] = make([]int64, horizon+1)
+		for t := 1; t <= horizon; t++ {
+			ag.Step()
+			turnsAt[a][t] = ag.Turns()
+		}
+	}
+
+	tp := theory.Params{N: n, L: l, R: 1, V: v} // R unused by TurnBound
+	res := E09Result{N: n, L: l, V: v, Agents: agents, AllOK: true}
+	for _, tau := range taus {
+		win := int(tau)
+		if win >= horizon {
+			continue
+		}
+		bound, err := tp.TurnBound(tau)
+		if err != nil {
+			// Outside Lemma 13's window; skip the point.
+			continue
+		}
+		var maxT int64
+		var sum float64
+		var count int
+		stride := win / 4
+		if stride < 1 {
+			stride = 1
+		}
+		for a := 0; a < agents; a++ {
+			for t := 0; t+win <= horizon; t += stride {
+				h := turnsAt[a][t+win] - turnsAt[a][t]
+				if h > maxT {
+					maxT = h
+				}
+				sum += float64(h)
+				count++
+			}
+		}
+		p := E09Point{
+			Tau:       tau,
+			MaxTurns:  maxT,
+			MeanTurns: sum / float64(count),
+			Bound:     bound,
+			Within:    float64(maxT) <= bound,
+		}
+		if !p.Within {
+			res.AllOK = false
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+func runE09(cfg Config) error {
+	res, err := E09Turns(cfg)
+	if err != nil {
+		return err
+	}
+	t := trace.NewTable("E09 turns per window vs Lemma 13  (n="+itoa(res.N)+", v=0.25, "+itoa(res.Agents)+" agents)",
+		"tau", "max H", "mean H", "bound 4 ln n / ln(L/(v tau))", "within")
+	for _, p := range res.Points {
+		t.AddRow(p.Tau, p.MaxTurns, p.MeanTurns, p.Bound, p.Within)
+	}
+	return render(cfg, t)
+}

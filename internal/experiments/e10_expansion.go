@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"manhattanflood/internal/cells"
+	"manhattanflood/internal/trace"
+)
+
+// E10Result stress-tests Lemma 9's expansion bound
+// |dB| >= sqrt(min(|B|, |CZ|-|B|)) over adversarial subset families.
+type E10Result struct {
+	N          int
+	L, R       float64
+	CZCells    int
+	SetsTested int
+	MinSlack   float64 // min over all sets of |dB| - sqrt(min(...))
+	MinRatio   float64 // min over all sets of |dB| / sqrt(min(...))
+	Violations int
+}
+
+// E10Expansion runs the experiment (pure geometry, no simulation).
+func E10Expansion(cfg Config) (E10Result, error) {
+	n := pick(cfg, 10000, 2000)
+	l := math.Sqrt(float64(n))
+	r := pick(cfg, 4.0, 5.0)
+	sets := cfg.trials(400, 60)
+
+	p, err := cells.NewPartition(l, r, n)
+	if err != nil {
+		return E10Result{}, err
+	}
+	res := E10Result{
+		N: n, L: l, R: r,
+		CZCells:  p.CentralCount(),
+		MinSlack: math.Inf(1),
+		MinRatio: math.Inf(1),
+	}
+	var cz [][2]int
+	for cy := 0; cy < p.M(); cy++ {
+		for cx := 0; cx < p.M(); cx++ {
+			if p.IsCentral(cx, cy) {
+				cz = append(cz, [2]int{cx, cy})
+			}
+		}
+	}
+	if len(cz) < 2 {
+		return res, nil
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed^0xe10, 5))
+
+	check := func(b cells.CellSet) {
+		slack, size := p.ExpansionSlack(b)
+		if size == 0 || size == res.CZCells {
+			return
+		}
+		res.SetsTested++
+		if slack < res.MinSlack {
+			res.MinSlack = slack
+		}
+		min := size
+		if r := res.CZCells - size; r < min {
+			min = r
+		}
+		boundary := slack + math.Sqrt(float64(min))
+		if ratio := boundary / math.Sqrt(float64(min)); ratio < res.MinRatio {
+			res.MinRatio = ratio
+		}
+		if slack < 0 {
+			res.Violations++
+		}
+	}
+
+	// Family 1: random subsets of varying density.
+	for i := 0; i < sets/2; i++ {
+		density := rng.Float64()
+		b := make(cells.CellSet)
+		for _, c := range cz {
+			if rng.Float64() < density {
+				b[c[1]*p.M()+c[0]] = true
+			}
+		}
+		check(b)
+	}
+	// Family 2: grown connected blobs (the worst case for expansion is
+	// typically a compact region).
+	for i := 0; i < sets/2; i++ {
+		start := cz[rng.IntN(len(cz))]
+		target := 1 + rng.IntN(len(cz)-1)
+		b := make(cells.CellSet)
+		b[start[1]*p.M()+start[0]] = true
+		frontier := [][2]int{start}
+		for len(b) < target && len(frontier) > 0 {
+			idx := rng.IntN(len(frontier))
+			c := frontier[idx]
+			frontier[idx] = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := c[0]+d[0], c[1]+d[1]
+				ci := ny*p.M() + nx
+				if p.IsCentral(nx, ny) && !b[ci] {
+					b[ci] = true
+					frontier = append(frontier, [2]int{nx, ny})
+					if len(b) >= target {
+						break
+					}
+				}
+			}
+		}
+		check(b)
+	}
+	return res, nil
+}
+
+func runE10(cfg Config) error {
+	res, err := E10Expansion(cfg)
+	if err != nil {
+		return err
+	}
+	t := trace.NewTable("E10 Lemma 9 expansion over "+itoa(res.SetsTested)+" subsets  (|CZ|="+itoa(res.CZCells)+")",
+		"quantity", "value")
+	t.AddRow("min slack |dB| - sqrt(min(|B|,|CZ|-|B|))", res.MinSlack)
+	t.AddRow("min ratio |dB| / sqrt(min(...))", res.MinRatio)
+	t.AddRow("violations", res.Violations)
+	return render(cfg, t)
+}

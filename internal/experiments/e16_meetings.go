@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"math"
+
+	"manhattanflood/internal/cells"
+	"manhattanflood/internal/core"
+	"manhattanflood/internal/geom"
+	"manhattanflood/internal/sim"
+	"manhattanflood/internal/trace"
+)
+
+// centerOf returns the square's center point.
+func centerOf(l float64) geom.Point { return geom.Pt(l/2, l/2) }
+
+// E16Result verifies the meeting mechanism of Lemma 16: every agent that
+// starts outside the Central Zone is met — within the paper's meeting
+// radius (3/4)R — by some agent that was in the Central Zone at time 0,
+// within a time budget of order S/v (the paper's explicit constant is
+// 590 S/v).
+type E16Result struct {
+	N            int
+	L, R, V      float64
+	SuburbAgents int
+	MetAll       bool
+	MaxMeeting   int
+	MeanMeeting  float64
+	// Lemma16Budget is the paper's 590 S/v.
+	Lemma16Budget float64
+	// BudgetRatio is MaxMeeting / (S/v): the measured constant replacing
+	// the paper's 590.
+	BudgetRatio float64
+	SOverV      float64
+}
+
+// E16Meetings runs the experiment.
+func E16Meetings(cfg Config) (E16Result, error) {
+	n := pick(cfg, 4000, 1000)
+	l := math.Sqrt(float64(n))
+	r := 4.0
+	v := 0.2
+	maxSteps := pick(cfg, 50000, 20000)
+
+	part, err := cells.NewPartition(l, r, n)
+	if err != nil {
+		return E16Result{}, err
+	}
+	w, err := sim.NewWorld(sim.Params{N: n, L: l, R: r, V: v, Seed: cfg.Seed ^ 0xe16}, nil)
+	if err != nil {
+		return E16Result{}, err
+	}
+	rep, err := core.MeasureMeetings(w, part, maxSteps)
+	if err != nil {
+		return E16Result{}, err
+	}
+	res := E16Result{
+		N: n, L: l, R: r, V: v,
+		SuburbAgents:  rep.SuburbAgents,
+		MetAll:        rep.Met == rep.SuburbAgents,
+		MaxMeeting:    rep.MaxTime,
+		MeanMeeting:   rep.MeanTime,
+		Lemma16Budget: core.Lemma16Budget(part, v),
+		SOverV:        part.SuburbDiameterS() / v,
+	}
+	if res.SOverV > 0 {
+		res.BudgetRatio = float64(res.MaxMeeting) / res.SOverV
+	}
+	return res, nil
+}
+
+func runE16(cfg Config) error {
+	res, err := E16Meetings(cfg)
+	if err != nil {
+		return err
+	}
+	t := trace.NewTable("E16 Lemma 16 meetings  (n="+itoa(res.N)+", R="+ftoa(res.R)+", v="+ftoa(res.V)+", meeting radius 3R/4)",
+		"quantity", "value")
+	t.AddRow("agents starting outside the CZ", res.SuburbAgents)
+	t.AddRow("all met a CZ agent", res.MetAll)
+	t.AddRow("max meeting time", res.MaxMeeting)
+	t.AddRow("mean meeting time", res.MeanMeeting)
+	t.AddRow("S/v (theta)", res.SOverV)
+	t.AddRow("paper budget 590 S/v", res.Lemma16Budget)
+	t.AddRow("measured constant (max / (S/v))", res.BudgetRatio)
+	return render(cfg, t)
+}

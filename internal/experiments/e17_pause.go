@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"math"
+
+	"manhattanflood/internal/sim"
+	"manhattanflood/internal/trace"
+)
+
+// E17Point is one row of the pause sweep.
+type E17Point struct {
+	MaxPause   float64
+	PausedFrac float64 // stationary probability of being paused (closed form)
+	MeanT      float64
+	CI95       float64
+	Completed  int
+}
+
+// E17Result is the way-point-pause ablation (the classic RWP-literature
+// extension, our "future work" knob on the paper's model). Pausing keeps
+// the destination law but freezes couriers at way-points and flattens the
+// stationary density toward uniform (mixture q/L^2 + (1-q)f); the
+// experiment measures how the flooding time responds as the paused
+// fraction q grows.
+type E17Result struct {
+	N       int
+	L, R, V float64
+	Points  []E17Point
+}
+
+// E17PauseAblation runs the experiment. The radius sits below the
+// corner-pocket scale so completion is courier-limited — the regime where
+// pausing (fewer moving couriers) can actually hurt.
+func E17PauseAblation(cfg Config) (E17Result, error) {
+	n := pick(cfg, 3000, 800)
+	l := math.Sqrt(float64(n))
+	r := 2.0
+	v := 0.2
+	pauses := pick(cfg, []float64{0, 50, 200, 600}, []float64{0, 200})
+	trials := cfg.trials(4, 2)
+	maxSteps := pick(cfg, 200000, 80000)
+
+	res := E17Result{N: n, L: l, R: r, V: v}
+	meanTrip := (2 * l / 3) / v
+	for _, pmax := range pauses {
+		factory := sim.MRWPFactory()
+		if pmax > 0 {
+			factory = sim.PausedMRWPFactory(pmax)
+		}
+		point, err := floodTrials(
+			sim.Params{N: n, L: l, R: r, V: v, Seed: cfg.Seed ^ 0xe17},
+			factory, trials, maxSteps, sourceCentral, false)
+		if err != nil {
+			return res, err
+		}
+		q := 0.0
+		if pmax > 0 {
+			q = (pmax / 2) / (pmax/2 + meanTrip)
+		}
+		res.Points = append(res.Points, E17Point{
+			MaxPause:   pmax,
+			PausedFrac: q,
+			MeanT:      point.T.Mean,
+			CI95:       point.T.CI95,
+			Completed:  point.Completed,
+		})
+	}
+	return res, nil
+}
+
+func runE17(cfg Config) error {
+	res, err := E17PauseAblation(cfg)
+	if err != nil {
+		return err
+	}
+	t := trace.NewTable("E17 way-point pause ablation  (n="+itoa(res.N)+", R="+ftoa(res.R)+", v="+ftoa(res.V)+", courier regime)",
+		"max pause", "paused fraction q", "mean T", "ci95", "completed")
+	for _, p := range res.Points {
+		t.AddRow(p.MaxPause, p.PausedFrac, p.MeanT, p.CI95, p.Completed)
+	}
+	return render(cfg, t)
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"manhattanflood/internal/cells"
+	"manhattanflood/internal/core"
+	"manhattanflood/internal/sim"
+	"manhattanflood/internal/stats"
+)
+
+// floodPoint aggregates flooding results over trials at one parameter
+// point.
+type floodPoint struct {
+	T         stats.Summary // flooding time over completed trials
+	CZ        stats.Summary // Central Zone completion time (if tracked)
+	Lag       stats.Summary // Suburb lag (if tracked)
+	Completed int
+	Trials    int
+}
+
+// sourceKind selects where the flooding source is placed.
+type sourceKind uint8
+
+const (
+	sourceCentral sourceKind = iota
+	sourceSuburb
+	sourceFirst // agent 0: a stationary-law random position
+)
+
+// floodTrials runs `trials` independently seeded flooding runs at the
+// given parameters — fanned out over GOMAXPROCS-many goroutines, since
+// trials share nothing — and aggregates the results. When withPartition is
+// set, the Central Zone completion time and Suburb lag are tracked too.
+// Output is deterministic: per-trial results are keyed by trial index.
+func floodTrials(p sim.Params, factory sim.ModelFactory, trials, maxSteps int,
+	src sourceKind, withPartition bool) (floodPoint, error) {
+	point := floodPoint{Trials: trials}
+	var part *cells.Partition
+	if withPartition {
+		var err error
+		part, err = cells.NewPartition(p.L, p.R, p.N)
+		if err != nil {
+			return point, fmt.Errorf("building partition: %w", err)
+		}
+	}
+
+	outcomes := make([]trialOutcome, trials)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := range next {
+				outcomes[trial] = runOneTrial(p, factory, part, trial, maxSteps, src)
+			}
+		}()
+	}
+	for trial := 0; trial < trials; trial++ {
+		next <- trial
+	}
+	close(next)
+	wg.Wait()
+
+	var times, czs, lags []float64
+	for _, o := range outcomes {
+		if o.err != nil {
+			return point, o.err
+		}
+		if !o.res.Completed {
+			continue
+		}
+		point.Completed++
+		times = append(times, float64(o.res.Time))
+		if o.res.CZTime >= 0 {
+			czs = append(czs, float64(o.res.CZTime))
+		}
+		if o.res.SuburbLag >= 0 {
+			lags = append(lags, float64(o.res.SuburbLag))
+		}
+	}
+	if len(times) > 0 {
+		point.T, _ = stats.Summarize(times)
+	}
+	if len(czs) > 0 {
+		point.CZ, _ = stats.Summarize(czs)
+	}
+	if len(lags) > 0 {
+		point.Lag, _ = stats.Summarize(lags)
+	}
+	return point, nil
+}
+
+// trialOutcome is one trial's flooding result or error.
+type trialOutcome struct {
+	res core.Result
+	err error
+}
+
+// runOneTrial executes a single seeded flooding run.
+func runOneTrial(p sim.Params, factory sim.ModelFactory, part *cells.Partition,
+	trial, maxSteps int, src sourceKind) (out trialOutcome) {
+	wp := p
+	wp.Seed = p.Seed + uint64(trial)*0x9e3779b97f4a7c15
+	w, err := sim.NewWorld(wp, factory)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	var source int
+	switch src {
+	case sourceCentral:
+		source, _ = core.SourcePair(w)
+	case sourceSuburb:
+		_, source = core.SourcePair(w)
+	default:
+		source = 0
+	}
+	var opts []core.FloodOption
+	if part != nil {
+		opts = append(opts, core.WithPartition(part))
+	}
+	f, err := core.NewFlooding(w, source, opts...)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	out.res, out.err = f.Run(maxSteps)
+	return out
+}
+
+// secondPhaseScale returns the Theorem 3 second-phase regressor
+// (L^3 log n) / (R^2 n v) in its Theta form (constants absorbed by the
+// fit).
+func secondPhaseScale(n int, l, r, v float64) float64 {
+	return l * l * l * logf(n) / (r * r * float64(n) * v)
+}
+
+// logf returns the natural log of n; a tiny helper to keep call sites
+// short.
+func logf(n int) float64 { return math.Log(float64(n)) }
+
+// itoa formats an int; a tiny helper for table titles.
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// ftoa formats a float compactly for table titles.
+func ftoa(v float64) string { return fmt.Sprintf("%.3g", v) }

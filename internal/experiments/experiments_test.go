@@ -1,0 +1,406 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Seed: 1, Quick: true} }
+
+func TestRegistry(t *testing.T) {
+	rs := All()
+	if len(rs) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(rs))
+	}
+	seen := map[string]bool{}
+	for _, r := range rs {
+		if r.ID == "" || r.Paper == "" || r.Description == "" || r.Run == nil {
+			t.Errorf("incomplete runner %+v", r)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate id %s", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if _, err := ByID("E01"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("want unknown-id error")
+	}
+}
+
+func TestE01SpatialDensityQuick(t *testing.T) {
+	res, err := E01SpatialDensity(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L1 > 0.35 {
+		t.Errorf("L1 = %v too large even for quick mode", res.L1)
+	}
+	if res.RatioEmpirical < 2 {
+		t.Errorf("center/corner ratio = %v, want clearly > 1", res.RatioEmpirical)
+	}
+	if res.RatioPredicted < 2 {
+		t.Errorf("predicted ratio = %v", res.RatioPredicted)
+	}
+	if res.Heatmap == "" {
+		t.Error("missing heatmap")
+	}
+}
+
+func TestE02DestinationLawQuick(t *testing.T) {
+	res, err := E02DestinationLaw(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits < 500 {
+		t.Fatalf("too few hits: %d", res.Hits)
+	}
+	if math.Abs(res.CrossMeasured-0.5) > 0.06 {
+		t.Errorf("cross mass = %v, want ~0.5", res.CrossMeasured)
+	}
+	var quadSum float64
+	for q, m := range res.QuadMeasured {
+		if math.Abs(m-res.QuadPaper[q]) > 0.06 {
+			t.Errorf("quadrant %v: measured %v vs paper %v", q, m, res.QuadPaper[q])
+		}
+		quadSum += m
+	}
+	for a, m := range res.ArmMeasured {
+		if math.Abs(m-res.ArmPaper[a]) > 0.03 {
+			t.Errorf("arm %v: measured %v vs paper %v", a, m, res.ArmPaper[a])
+		}
+	}
+}
+
+func TestE03FloodVsRQuick(t *testing.T) {
+	res, err := E03FloodVsR(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Completed == 0 {
+			t.Errorf("R=%v: no completed trials", p.R)
+		}
+	}
+	// The headline shape: flooding time decreases with R.
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.MeanT >= first.MeanT {
+		t.Errorf("T(R=%v)=%v not below T(R=%v)=%v", last.R, last.MeanT, first.R, first.MeanT)
+	}
+}
+
+func TestE04FloodVsVQuick(t *testing.T) {
+	res, err := E04FloodVsV(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	slow, fast := res.Points[0], res.Points[1]
+	if slow.Completed == 0 || fast.Completed == 0 {
+		t.Fatal("incomplete trials")
+	}
+	if slow.MeanT < fast.MeanT {
+		t.Errorf("slower agents flooded faster: %v < %v", slow.MeanT, fast.MeanT)
+	}
+}
+
+func TestE05CentralZoneQuick(t *testing.T) {
+	res, err := E05CentralZone(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllWithinBound {
+		t.Errorf("Theorem 10 bound violated: %+v", res.Points)
+	}
+	for _, p := range res.Points {
+		if p.Completed > 0 && p.MeanCZTime > p.MeanTotalT {
+			t.Errorf("R=%v: CZ time %v exceeds total %v", p.R, p.MeanCZTime, p.MeanTotalT)
+		}
+	}
+}
+
+func TestE06SuburbDiameterQuick(t *testing.T) {
+	res, err := E06SuburbDiameter(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllBounded {
+		t.Error("Lemma 15 bound violated")
+	}
+	for _, p := range res.Points {
+		if p.SuburbCells == 0 {
+			t.Errorf("n=%d: expected non-empty suburb", p.N)
+		}
+	}
+}
+
+func TestE07LowerBoundQuick(t *testing.T) {
+	res, err := E07LowerBound(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations > 0 {
+		t.Errorf("%d runs beat their isolation bound", res.Violations)
+	}
+	if res.Theorem18LB <= 0 {
+		t.Errorf("theorem scale = %v", res.Theorem18LB)
+	}
+	// The sparse corner must produce a real isolation bound in most trials.
+	if res.MeanIsolation <= 0 {
+		t.Errorf("mean isolation bound = %v", res.MeanIsolation)
+	}
+}
+
+func TestE08ConnectivityQuick(t *testing.T) {
+	res, err := E08Connectivity(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	small, large := res.Points[0], res.Points[1]
+	// The whole graph must be disconnected at small R (corner isolation).
+	if small.ConnectedFrac > 0 {
+		t.Errorf("R=%v: whole graph connected with prob %v, expected 0", small.R, small.ConnectedFrac)
+	}
+	// The CZ subgraph connects no later than the whole graph.
+	if large.CZConnected < large.ConnectedFrac {
+		t.Errorf("CZ less connected than the whole graph at R=%v", large.R)
+	}
+	if res.MRWPThreshold <= res.UniformThreshold {
+		t.Error("MRWP threshold must exceed the uniform one")
+	}
+}
+
+func TestE09TurnsQuick(t *testing.T) {
+	res, err := E09Turns(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no tau points inside the Lemma 13 window")
+	}
+	if !res.AllOK {
+		t.Errorf("Lemma 13 bound violated: %+v", res.Points)
+	}
+}
+
+func TestE10ExpansionQuick(t *testing.T) {
+	res, err := E10Expansion(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations > 0 {
+		t.Errorf("%d Lemma 9 violations (min slack %v)", res.Violations, res.MinSlack)
+	}
+	if res.SetsTested == 0 {
+		t.Error("no sets tested")
+	}
+	if res.MinRatio < 1 {
+		t.Errorf("min expansion ratio %v < 1", res.MinRatio)
+	}
+}
+
+func TestE11SuburbLagQuick(t *testing.T) {
+	res, err := E11SuburbLag(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.Completed == 0 {
+			t.Errorf("R=%v v=%v: no completed trials", p.R, p.V)
+			continue
+		}
+		if p.MeanLag < 0 {
+			t.Errorf("negative lag at R=%v v=%v", p.R, p.V)
+		}
+	}
+}
+
+func TestE12DensityConditionQuick(t *testing.T) {
+	res, err := E12DensityCondition(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scales) != 2 {
+		t.Fatalf("scales = %d", len(res.Scales))
+	}
+	// Scale 40 emulates the asymptotic regime: every CZ core stays
+	// occupied, giving a positive eta.
+	emul := res.Scales[1]
+	if emul.CZCells == 0 {
+		t.Fatal("scale-40 CZ empty; R too small for the emulated regime")
+	}
+	if emul.MinCore == 0 {
+		t.Errorf("scale-40: some CZ core was empty (mean %v)", emul.MeanCore)
+	}
+	if emul.Eta <= 0 {
+		t.Errorf("scale-40 eta = %v", emul.Eta)
+	}
+	// Scale 1 yields a superset Central Zone, so its worst core can only
+	// be emptier (it documents the finite-size effect at Def. 4's literal
+	// constant).
+	lit := res.Scales[0]
+	if lit.CZCells < emul.CZCells {
+		t.Errorf("scale-1 CZ (%d cells) smaller than scale-40 (%d)", lit.CZCells, emul.CZCells)
+	}
+	if lit.MinCore > emul.MinCore {
+		t.Errorf("scale-1 min core %d above scale-40 min %d", lit.MinCore, emul.MinCore)
+	}
+}
+
+func TestE13PerfectSimQuick(t *testing.T) {
+	res, err := E13PerfectSim(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.L1Stationary) != len(res.Times) || len(res.L1Cold) != len(res.Times) {
+		t.Fatal("missing measurements")
+	}
+	// At t=0 the cold start must be visibly farther from Theorem 1 than the
+	// stationary start (uniform vs center-heavy).
+	if res.L1Cold[0] < res.L1Stationary[0]+0.05 {
+		t.Errorf("t=0: cold L1 %v not clearly above stationary %v",
+			res.L1Cold[0], res.L1Stationary[0])
+	}
+	// Over time the cold start converges: final error below initial.
+	last := len(res.Times) - 1
+	if res.L1Cold[last] >= res.L1Cold[0] {
+		t.Errorf("cold start did not converge: %v -> %v", res.L1Cold[0], res.L1Cold[last])
+	}
+}
+
+func TestE14ModelsQuick(t *testing.T) {
+	res, err := E14Models(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("models = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Completed == 0 {
+			t.Errorf("%s: no completed trials", p.Model)
+		}
+	}
+}
+
+func TestE15InfectionTreeQuick(t *testing.T) {
+	res, err := E15InfectionTree(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	small, large := res.Points[0], res.Points[1]
+	// Depth must grow as R shrinks (more relay hops to cross the square).
+	if small.MeanMaxDepth <= large.MeanMaxDepth {
+		t.Errorf("depth at R=%v (%v) not above depth at R=%v (%v)",
+			small.R, small.MeanMaxDepth, large.R, large.MeanMaxDepth)
+	}
+	for _, p := range res.Points {
+		if p.MeanMaxDepth <= 0 {
+			t.Errorf("R=%v: no depth measured", p.R)
+		}
+		if p.MeanCourierFrac < 0 || p.MeanCourierFrac > 1 {
+			t.Errorf("courier fraction %v out of range", p.MeanCourierFrac)
+		}
+	}
+}
+
+func TestE16MeetingsQuick(t *testing.T) {
+	res, err := E16Meetings(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuburbAgents == 0 {
+		t.Skip("no suburb agents at quick scale")
+	}
+	if !res.MetAll {
+		t.Errorf("not all suburb agents met a CZ agent within the budget")
+	}
+	if float64(res.MaxMeeting) > res.Lemma16Budget {
+		t.Errorf("max meeting time %d above the paper's 590 S/v = %v",
+			res.MaxMeeting, res.Lemma16Budget)
+	}
+	if res.BudgetRatio > 590 {
+		t.Errorf("measured constant %v exceeds the paper's 590", res.BudgetRatio)
+	}
+}
+
+func TestE17PauseAblationQuick(t *testing.T) {
+	res, err := E17PauseAblation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	noPause, paused := res.Points[0], res.Points[1]
+	if noPause.PausedFrac != 0 {
+		t.Errorf("zero-pause q = %v", noPause.PausedFrac)
+	}
+	if paused.PausedFrac <= 0 || paused.PausedFrac >= 1 {
+		t.Errorf("paused q = %v", paused.PausedFrac)
+	}
+	if noPause.Completed == 0 || paused.Completed == 0 {
+		t.Error("incomplete trials")
+	}
+	// In the courier regime, pausing must not speed flooding up beyond
+	// noise.
+	if paused.MeanT+paused.CI95+noPause.CI95 < noPause.MeanT {
+		t.Errorf("pausing sped flooding up: %v vs %v", paused.MeanT, noPause.MeanT)
+	}
+}
+
+func TestE18SnapshotDependenceQuick(t *testing.T) {
+	res, err := E18SnapshotDependence(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.CellsTracked == 0 {
+			t.Errorf("v=%v: no cells decorrelated within the horizon", p.V)
+		}
+		if p.DecorrSteps <= 0 {
+			t.Errorf("v=%v: decorrelation time %v", p.V, p.DecorrSteps)
+		}
+	}
+	if !res.ScalesWithEllOverV {
+		t.Error("slower agents must keep snapshots correlated longer")
+	}
+}
+
+func TestRunAllQuickRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness render skipped in -short mode")
+	}
+	var b strings.Builder
+	cfg := quickCfg()
+	cfg.Out = &b
+	if err := RunAll(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, id := range []string{"E01", "E05", "E10", "E14"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("output missing %s section", id)
+		}
+	}
+	if !strings.Contains(out, "paper-predicted") {
+		t.Error("output missing paper-predicted columns")
+	}
+}

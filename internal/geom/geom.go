@@ -1,0 +1,162 @@
+// Package geom provides the planar geometry primitives used throughout the
+// Manhattan-flooding simulator: points, axis-aligned rectangles, Euclidean
+// and Manhattan (L1) metrics, and the two-leg "L-paths" that agents of the
+// Manhattan Random Way-Point model travel along.
+//
+// All coordinates live in the continuous square [0, L] x [0, L]; the package
+// itself is unit-agnostic and never references L except through the caller's
+// values.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p + q componentwise.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q componentwise.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point { return Point{k * p.X, k * p.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root and is the preferred comparison form in hot loops.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// ManhattanDist returns the L1 distance |px-qx| + |py-qy|, which is the
+// length of every monotone staircase path between p and q and in particular
+// of both L-paths.
+func (p Point) ManhattanDist(q Point) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+// ChebyshevDist returns the L-infinity distance max(|px-qx|, |py-qy|).
+func (p Point) ChebyshevDist(q Point) float64 {
+	return math.Max(math.Abs(p.X-q.X), math.Abs(p.Y-q.Y))
+}
+
+// In reports whether p lies inside r (inclusive on all edges).
+func (p Point) In(r Rect) bool {
+	return r.MinX <= p.X && p.X <= r.MaxX && r.MinY <= p.Y && p.Y <= r.MaxY
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.4g, %.4g)", p.X, p.Y) }
+
+// Clamp returns p with each coordinate clamped into [0, side]. It is used to
+// absorb floating-point drift at the square's boundary.
+func (p Point) Clamp(side float64) Point {
+	return Point{clamp(p.X, 0, side), clamp(p.Y, 0, side)}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Rect is an axis-aligned rectangle, inclusive of its boundary.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewRect builds the rectangle spanned by two opposite corners given in any
+// order.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		MinX: math.Min(a.X, b.X),
+		MinY: math.Min(a.Y, b.Y),
+		MaxX: math.Max(a.X, b.X),
+		MaxY: math.Max(a.Y, b.Y),
+	}
+}
+
+// Square returns the axis-aligned square with south-west corner sw and the
+// given side length.
+func Square(sw Point, side float64) Rect {
+	return Rect{MinX: sw.X, MinY: sw.Y, MaxX: sw.X + side, MaxY: sw.Y + side}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2}
+}
+
+// Contains reports whether the inner rectangle lies entirely inside r.
+func (r Rect) Contains(inner Rect) bool {
+	return r.MinX <= inner.MinX && inner.MaxX <= r.MaxX &&
+		r.MinY <= inner.MinY && inner.MaxY <= r.MaxY
+}
+
+// Intersects reports whether r and q share at least one point.
+func (r Rect) Intersects(q Rect) bool {
+	return r.MinX <= q.MaxX && q.MinX <= r.MaxX &&
+		r.MinY <= q.MaxY && q.MinY <= r.MaxY
+}
+
+// Shrink returns r contracted by d on every side. The result may be empty
+// (negative extent) if d is too large; callers should check IsEmpty.
+func (r Rect) Shrink(d float64) Rect {
+	return Rect{MinX: r.MinX + d, MinY: r.MinY + d, MaxX: r.MaxX - d, MaxY: r.MaxY - d}
+}
+
+// IsEmpty reports whether r has no interior.
+func (r Rect) IsEmpty() bool { return r.MinX >= r.MaxX || r.MinY >= r.MaxY }
+
+// ManhattanDistToRect returns the L1 distance from p to the closest point of
+// r (zero if p is inside r). The paper's "Extended Suburb" is defined with
+// exactly this metric.
+func (r Rect) ManhattanDistToRect(p Point) float64 {
+	var dx, dy float64
+	switch {
+	case p.X < r.MinX:
+		dx = r.MinX - p.X
+	case p.X > r.MaxX:
+		dx = p.X - r.MaxX
+	}
+	switch {
+	case p.Y < r.MinY:
+		dy = r.MinY - p.Y
+	case p.Y > r.MaxY:
+		dy = p.Y - r.MaxY
+	}
+	return dx + dy
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.4g,%.4g]x[%.4g,%.4g]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}

@@ -1,0 +1,370 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPointArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		got  Point
+		want Point
+	}{
+		{"add", Pt(1, 2).Add(Pt(3, -1)), Pt(4, 1)},
+		{"sub", Pt(1, 2).Sub(Pt(3, -1)), Pt(-2, 3)},
+		{"scale", Pt(1.5, -2).Scale(2), Pt(3, -4)},
+		{"scale-zero", Pt(1.5, -2).Scale(0), Pt(0, 0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.got != tt.want {
+				t.Errorf("got %v, want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistances(t *testing.T) {
+	tests := []struct {
+		name                string
+		p, q                Point
+		euclid, manh, cheby float64
+	}{
+		{"same", Pt(1, 1), Pt(1, 1), 0, 0, 0},
+		{"axis", Pt(0, 0), Pt(3, 0), 3, 3, 3},
+		{"diag-345", Pt(0, 0), Pt(3, 4), 5, 7, 4},
+		{"negative", Pt(-1, -1), Pt(2, 3), 5, 7, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if d := tt.p.Dist(tt.q); !almostEq(d, tt.euclid, 1e-12) {
+				t.Errorf("Dist = %v, want %v", d, tt.euclid)
+			}
+			if d := tt.p.Dist2(tt.q); !almostEq(d, tt.euclid*tt.euclid, 1e-9) {
+				t.Errorf("Dist2 = %v, want %v", d, tt.euclid*tt.euclid)
+			}
+			if d := tt.p.ManhattanDist(tt.q); !almostEq(d, tt.manh, 1e-12) {
+				t.Errorf("ManhattanDist = %v, want %v", d, tt.manh)
+			}
+			if d := tt.p.ChebyshevDist(tt.q); !almostEq(d, tt.cheby, 1e-12) {
+				t.Errorf("ChebyshevDist = %v, want %v", d, tt.cheby)
+			}
+		})
+	}
+}
+
+func TestMetricInequalitiesProperty(t *testing.T) {
+	// Chebyshev <= Euclid <= Manhattan <= 2 * Chebyshev, and symmetry.
+	f := func(px, py, qx, qy float64) bool {
+		p, q := Pt(px, py), Pt(qx, qy)
+		e, m, c := p.Dist(q), p.ManhattanDist(q), p.ChebyshevDist(q)
+		if math.IsNaN(e) || math.IsInf(m, 0) {
+			return true // degenerate quick inputs
+		}
+		return c <= e+1e-9 && e <= m+1e-9 && m <= 2*c+1e-9 &&
+			almostEq(p.Dist(q), q.Dist(p), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Point
+		side float64
+		want Point
+	}{
+		{"inside", Pt(2, 3), 10, Pt(2, 3)},
+		{"below", Pt(-1, -0.5), 10, Pt(0, 0)},
+		{"above", Pt(11, 12), 10, Pt(10, 10)},
+		{"mixed", Pt(-1, 12), 10, Pt(0, 10)},
+		{"edges", Pt(0, 10), 10, Pt(0, 10)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Clamp(tt.side); got != tt.want {
+				t.Errorf("Clamp = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(Pt(3, 1), Pt(1, 4))
+	if r.MinX != 1 || r.MaxX != 3 || r.MinY != 1 || r.MaxY != 4 {
+		t.Fatalf("NewRect normalized wrong: %v", r)
+	}
+	if got := r.Width(); got != 2 {
+		t.Errorf("Width = %v, want 2", got)
+	}
+	if got := r.Height(); got != 3 {
+		t.Errorf("Height = %v, want 3", got)
+	}
+	if got := r.Area(); got != 6 {
+		t.Errorf("Area = %v, want 6", got)
+	}
+	if got := r.Center(); got != Pt(2, 2.5) {
+		t.Errorf("Center = %v, want (2,2.5)", got)
+	}
+}
+
+func TestSquare(t *testing.T) {
+	s := Square(Pt(1, 2), 3)
+	want := Rect{MinX: 1, MinY: 2, MaxX: 4, MaxY: 5}
+	if s != want {
+		t.Errorf("Square = %v, want %v", s, want)
+	}
+}
+
+func TestRectContainsIntersects(t *testing.T) {
+	outer := Square(Pt(0, 0), 10)
+	tests := []struct {
+		name       string
+		inner      Rect
+		contains   bool
+		intersects bool
+	}{
+		{"inside", Square(Pt(1, 1), 2), true, true},
+		{"equal", outer, true, true},
+		{"overlap", Square(Pt(8, 8), 5), false, true},
+		{"touch-edge", Square(Pt(10, 0), 2), false, true},
+		{"outside", Square(Pt(20, 20), 1), false, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := outer.Contains(tt.inner); got != tt.contains {
+				t.Errorf("Contains = %v, want %v", got, tt.contains)
+			}
+			if got := outer.Intersects(tt.inner); got != tt.intersects {
+				t.Errorf("Intersects = %v, want %v", got, tt.intersects)
+			}
+			if got := tt.inner.Intersects(outer); got != tt.intersects {
+				t.Errorf("Intersects not symmetric")
+			}
+		})
+	}
+}
+
+func TestRectShrink(t *testing.T) {
+	r := Square(Pt(0, 0), 10).Shrink(2)
+	if r != (Rect{2, 2, 8, 8}) {
+		t.Errorf("Shrink = %v", r)
+	}
+	if r.IsEmpty() {
+		t.Error("expected non-empty")
+	}
+	if !Square(Pt(0, 0), 3).Shrink(2).IsEmpty() {
+		t.Error("expected empty after over-shrink")
+	}
+}
+
+func TestPointIn(t *testing.T) {
+	r := Square(Pt(0, 0), 5)
+	for _, p := range []Point{Pt(0, 0), Pt(5, 5), Pt(2.5, 0), Pt(3, 4)} {
+		if !p.In(r) {
+			t.Errorf("%v should be in %v", p, r)
+		}
+	}
+	for _, p := range []Point{Pt(-0.1, 0), Pt(5.1, 5), Pt(2, 6)} {
+		if p.In(r) {
+			t.Errorf("%v should not be in %v", p, r)
+		}
+	}
+}
+
+func TestManhattanDistToRect(t *testing.T) {
+	r := Square(Pt(2, 2), 2) // [2,4]x[2,4]
+	tests := []struct {
+		name string
+		p    Point
+		want float64
+	}{
+		{"inside", Pt(3, 3), 0},
+		{"on-edge", Pt(2, 3), 0},
+		{"left", Pt(0, 3), 2},
+		{"below", Pt(3, 0), 2},
+		{"corner", Pt(0, 0), 4},
+		{"above-right", Pt(5, 6), 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := r.ManhattanDistToRect(tt.p); !almostEq(got, tt.want, 1e-12) {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLPathCornerAndLength(t *testing.T) {
+	src, dst := Pt(1, 1), Pt(4, 5)
+	p1 := NewLPath(src, dst, VerticalFirst)
+	p2 := NewLPath(src, dst, HorizontalFirst)
+	if c := p1.Corner(); c != Pt(1, 5) {
+		t.Errorf("P1 corner = %v, want (1,5)", c)
+	}
+	if c := p2.Corner(); c != Pt(4, 1) {
+		t.Errorf("P2 corner = %v, want (4,1)", c)
+	}
+	if l := p1.Length(); l != 7 {
+		t.Errorf("P1 length = %v, want 7", l)
+	}
+	if p1.Length() != p2.Length() {
+		t.Error("the two L-paths must have equal length")
+	}
+	if fl := p1.FirstLegLength(); fl != 4 {
+		t.Errorf("P1 first leg = %v, want 4", fl)
+	}
+	if fl := p2.FirstLegLength(); fl != 3 {
+		t.Errorf("P2 first leg = %v, want 3", fl)
+	}
+}
+
+func TestLPathAt(t *testing.T) {
+	p := NewLPath(Pt(1, 1), Pt(4, 5), VerticalFirst) // up 4 then right 3
+	tests := []struct {
+		d    float64
+		want Point
+	}{
+		{-1, Pt(1, 1)},
+		{0, Pt(1, 1)},
+		{2, Pt(1, 3)},
+		{4, Pt(1, 5)},
+		{5.5, Pt(2.5, 5)},
+		{7, Pt(4, 5)},
+		{99, Pt(4, 5)},
+	}
+	for _, tt := range tests {
+		if got := p.At(tt.d); got.Dist(tt.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestLPathDegenerate(t *testing.T) {
+	// Same point: zero-length path.
+	z := NewLPath(Pt(2, 2), Pt(2, 2), VerticalFirst)
+	if z.Length() != 0 {
+		t.Errorf("zero path length = %v", z.Length())
+	}
+	if got := z.At(0.5); got != Pt(2, 2) {
+		t.Errorf("At on zero path = %v", got)
+	}
+	if h := z.HeadingAt(0); h != HeadingNone {
+		t.Errorf("heading on zero path = %v", h)
+	}
+	// Purely horizontal trip: vertical-first order has a degenerate first leg.
+	h := NewLPath(Pt(0, 3), Pt(5, 3), VerticalFirst)
+	if h.FirstLegLength() != 0 {
+		t.Errorf("first leg = %v, want 0", h.FirstLegLength())
+	}
+	if got := h.At(2); got != Pt(2, 3) {
+		t.Errorf("At(2) = %v, want (2,3)", got)
+	}
+	if hd := h.HeadingAt(1); hd != HeadingEast {
+		t.Errorf("heading = %v, want east", hd)
+	}
+	// Purely vertical trip, horizontal-first order.
+	v := NewLPath(Pt(3, 5), Pt(3, 1), HorizontalFirst)
+	if got := v.At(3); got != Pt(3, 2) {
+		t.Errorf("At(3) = %v, want (3,2)", got)
+	}
+	if hd := v.HeadingAt(1); hd != HeadingSouth {
+		t.Errorf("heading = %v, want south", hd)
+	}
+}
+
+func TestLPathHeadings(t *testing.T) {
+	p := NewLPath(Pt(4, 5), Pt(1, 1), HorizontalFirst) // left 3 then down 4
+	tests := []struct {
+		d    float64
+		want Heading
+	}{
+		{0, HeadingWest},
+		{2.9, HeadingWest},
+		{3, HeadingSouth}, // leg boundary reports upcoming leg
+		{5, HeadingSouth},
+		{7, HeadingNone},
+		{100, HeadingNone},
+	}
+	for _, tt := range tests {
+		if got := p.HeadingAt(tt.d); got != tt.want {
+			t.Errorf("HeadingAt(%v) = %v, want %v", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestLPathOnSecondLeg(t *testing.T) {
+	p := NewLPath(Pt(0, 0), Pt(2, 3), VerticalFirst) // first leg len 3
+	if p.OnSecondLeg(2.9) {
+		t.Error("2.9 should be on first leg")
+	}
+	if p.OnSecondLeg(3) {
+		t.Error("exactly at corner counts as first leg")
+	}
+	if !p.OnSecondLeg(3.1) {
+		t.Error("3.1 should be on second leg")
+	}
+}
+
+// Property: for any trip and any travelled distance, the point returned by
+// At lies on one of the two legs and its path-distance from Src equals d.
+func TestLPathAtConsistencyProperty(t *testing.T) {
+	f := func(sx, sy, dx, dy, frac float64, horizFirst bool) bool {
+		mod := func(v float64) float64 { return math.Abs(math.Mod(v, 100)) }
+		src, dst := Pt(mod(sx), mod(sy)), Pt(mod(dx), mod(dy))
+		order := VerticalFirst
+		if horizFirst {
+			order = HorizontalFirst
+		}
+		p := NewLPath(src, dst, order)
+		total := p.Length()
+		d := math.Abs(math.Mod(frac, 1)) * total
+		got := p.At(d)
+		// Walking distance src->got->dst along the path must sum to total.
+		c := p.Corner()
+		var walked float64
+		if d <= p.FirstLegLength() {
+			walked = src.ManhattanDist(got)
+		} else {
+			walked = src.ManhattanDist(c) + c.ManhattanDist(got)
+		}
+		return almostEq(walked, d, 1e-9) &&
+			almostEq(src.ManhattanDist(got)+got.ManhattanDist(dst), total, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLegOrderString(t *testing.T) {
+	if VerticalFirst.String() != "vertical-first" || HorizontalFirst.String() != "horizontal-first" {
+		t.Error("LegOrder strings wrong")
+	}
+	if LegOrder(9).String() != "LegOrder(9)" {
+		t.Error("unknown LegOrder string wrong")
+	}
+}
+
+func TestHeadingString(t *testing.T) {
+	want := map[Heading]string{
+		HeadingNone: "none", HeadingEast: "east", HeadingWest: "west",
+		HeadingNorth: "north", HeadingSouth: "south",
+	}
+	for h, s := range want {
+		if h.String() != s {
+			t.Errorf("%v.String() = %q, want %q", uint8(h), h.String(), s)
+		}
+	}
+	if !HeadingEast.Horizontal() || !HeadingWest.Horizontal() {
+		t.Error("east/west must be horizontal")
+	}
+	if HeadingNorth.Horizontal() || HeadingNone.Horizontal() {
+		t.Error("north/none must not be horizontal")
+	}
+}

@@ -1,0 +1,175 @@
+package geom
+
+import "fmt"
+
+// LegOrder selects which of the two Manhattan shortest paths between two
+// points an agent follows: vertical leg first (P1 in the paper) or
+// horizontal leg first (P2).
+type LegOrder uint8
+
+// The two feasible L-paths of the MRWP model. The paper writes them as
+//
+//	P1 = ((x0,y0) -> (x0,y) -> (x,y))   vertical first
+//	P2 = ((x0,y0) -> (x,y0) -> (x,y))   horizontal first
+const (
+	VerticalFirst LegOrder = iota + 1
+	HorizontalFirst
+)
+
+// String implements fmt.Stringer.
+func (o LegOrder) String() string {
+	switch o {
+	case VerticalFirst:
+		return "vertical-first"
+	case HorizontalFirst:
+		return "horizontal-first"
+	default:
+		return fmt.Sprintf("LegOrder(%d)", uint8(o))
+	}
+}
+
+// LPath is one of the two Manhattan shortest paths between Src and Dst.
+// It consists of at most two axis-parallel legs; degenerate legs (zero
+// length) occur when Src and Dst share a coordinate.
+type LPath struct {
+	Src, Dst Point
+	Order    LegOrder
+}
+
+// NewLPath builds the L-path from src to dst with the given leg order.
+func NewLPath(src, dst Point, order LegOrder) LPath {
+	return LPath{Src: src, Dst: dst, Order: order}
+}
+
+// Corner returns the turning point of the path (where the agent performs
+// the paper's "turn"). For degenerate paths the corner coincides with an
+// endpoint.
+func (p LPath) Corner() Point {
+	if p.Order == VerticalFirst {
+		return Point{p.Src.X, p.Dst.Y}
+	}
+	return Point{p.Dst.X, p.Src.Y}
+}
+
+// Length returns the total path length, which equals the Manhattan distance
+// between the endpoints for either leg order.
+func (p LPath) Length() float64 { return p.Src.ManhattanDist(p.Dst) }
+
+// FirstLegLength returns the length of the leg travelled before the turn.
+func (p LPath) FirstLegLength() float64 {
+	return p.Src.ManhattanDist(p.Corner())
+}
+
+// At returns the position after travelling distance d from Src along the
+// path. d is clamped into [0, Length].
+func (p LPath) At(d float64) Point {
+	total := p.Length()
+	if d <= 0 {
+		return p.Src
+	}
+	if d >= total {
+		return p.Dst
+	}
+	c := p.Corner()
+	first := p.Src.ManhattanDist(c)
+	if d <= first {
+		return lerpAxis(p.Src, c, d)
+	}
+	return lerpAxis(c, p.Dst, d-first)
+}
+
+// OnSecondLeg reports whether the position at travelled distance d lies
+// strictly past the corner. The destination law's atomic "cross" mass comes
+// exactly from agents observed on their second leg.
+func (p LPath) OnSecondLeg(d float64) bool {
+	return d > p.FirstLegLength()
+}
+
+// lerpAxis moves distance d from a toward b, where ab is axis-parallel.
+func lerpAxis(a, b Point, d float64) Point {
+	if a == b {
+		return a
+	}
+	if a.X == b.X { // vertical
+		if b.Y >= a.Y {
+			return Point{a.X, a.Y + d}
+		}
+		return Point{a.X, a.Y - d}
+	}
+	// horizontal
+	if b.X >= a.X {
+		return Point{a.X + d, a.Y}
+	}
+	return Point{a.X - d, a.Y}
+}
+
+// Heading is the axis-parallel direction of motion.
+type Heading uint8
+
+// The four axis-parallel headings plus None for a stationary agent
+// (Src == Dst trips).
+const (
+	HeadingNone Heading = iota
+	HeadingEast
+	HeadingWest
+	HeadingNorth
+	HeadingSouth
+)
+
+// String implements fmt.Stringer.
+func (h Heading) String() string {
+	switch h {
+	case HeadingNone:
+		return "none"
+	case HeadingEast:
+		return "east"
+	case HeadingWest:
+		return "west"
+	case HeadingNorth:
+		return "north"
+	case HeadingSouth:
+		return "south"
+	default:
+		return fmt.Sprintf("Heading(%d)", uint8(h))
+	}
+}
+
+// Horizontal reports whether h is east or west.
+func (h Heading) Horizontal() bool { return h == HeadingEast || h == HeadingWest }
+
+// HeadingAt returns the direction of motion after travelling distance d
+// along the path. On a leg boundary the heading of the upcoming leg is
+// returned; at or past the end it returns HeadingNone.
+func (p LPath) HeadingAt(d float64) Heading {
+	total := p.Length()
+	if total == 0 || d >= total {
+		return HeadingNone
+	}
+	c := p.Corner()
+	first := p.Src.ManhattanDist(c)
+	var a, b Point
+	if d < first {
+		a, b = p.Src, c
+	} else {
+		a, b = c, p.Dst
+		if a == b { // degenerate second leg
+			a, b = p.Src, c
+		}
+	}
+	return headingOf(a, b)
+}
+
+func headingOf(a, b Point) Heading {
+	switch {
+	case b.X > a.X:
+		return HeadingEast
+	case b.X < a.X:
+		return HeadingWest
+	case b.Y > a.Y:
+		return HeadingNorth
+	case b.Y < a.Y:
+		return HeadingSouth
+	default:
+		return HeadingNone
+	}
+}

@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"fmt"
+
+	"manhattanflood/internal/geom"
+	"manhattanflood/internal/spatialindex"
+)
+
+// Disk is a symmetric disk graph over a point set: vertices are points,
+// and two vertices are adjacent iff their Euclidean distance is at most the
+// radius — exactly the paper's communication graph G_t.
+type Disk struct {
+	pts    []geom.Point
+	radius float64
+	index  *spatialindex.Index
+}
+
+// NewDisk builds the disk graph of pts over [0, side]^2 with the given
+// transmission radius. The pts slice is retained; callers must not mutate
+// it while using the graph.
+func NewDisk(pts []geom.Point, side, radius float64) (*Disk, error) {
+	ix, err := spatialindex.New(side, radius)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	ix.Rebuild(pts)
+	return &Disk{pts: pts, radius: radius, index: ix}, nil
+}
+
+// Order returns the number of vertices.
+func (g *Disk) Order() int { return len(g.pts) }
+
+// Degree returns the degree of vertex i.
+func (g *Disk) Degree(i int) int {
+	return g.index.CountNeighbors(g.pts[i], i)
+}
+
+// AvgDegree returns the mean vertex degree (0 for the empty graph).
+func (g *Disk) AvgDegree() float64 {
+	if len(g.pts) == 0 {
+		return 0
+	}
+	var sum int
+	for i := range g.pts {
+		sum += g.Degree(i)
+	}
+	return float64(sum) / float64(len(g.pts))
+}
+
+// Neighbors appends the neighbor ids of vertex i to dst.
+func (g *Disk) Neighbors(i int, dst []int) []int {
+	return g.index.Neighbors(g.pts[i], i, dst)
+}
+
+// Components computes the connected components via union-find in
+// O(n + edges * alpha).
+func (g *Disk) Components() *UnionFind {
+	u := NewUnionFind(len(g.pts))
+	for i := range g.pts {
+		g.index.VisitNeighbors(g.pts[i], i, func(j int, _ geom.Point) bool {
+			if j > i { // each undirected edge once
+				u.Union(i, j)
+			}
+			return true
+		})
+	}
+	return u
+}
+
+// IsConnected reports whether the graph is connected. The empty graph and
+// the single vertex count as connected.
+func (g *Disk) IsConnected() bool {
+	if len(g.pts) <= 1 {
+		return true
+	}
+	return g.Components().Sets() == 1
+}
+
+// GiantFraction returns the fraction of vertices in the largest connected
+// component (0 for the empty graph).
+func (g *Disk) GiantFraction() float64 {
+	n := len(g.pts)
+	if n == 0 {
+		return 0
+	}
+	u := g.Components()
+	max := 0
+	for i := 0; i < n; i++ {
+		if s := u.SizeOf(i); s > max {
+			max = s
+		}
+	}
+	return float64(max) / float64(n)
+}
+
+// BFSFrom returns hop distances from src to every vertex; unreachable
+// vertices get -1.
+func (g *Disk) BFSFrom(src int) ([]int, error) {
+	n := len(g.pts)
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("graph: source %d out of range [0, %d)", src, n)
+	}
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, n)
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		v := int(queue[0])
+		queue = queue[1:]
+		g.index.VisitNeighbors(g.pts[v], v, func(w int, _ geom.Point) bool {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, int32(w))
+			}
+			return true
+		})
+	}
+	return dist, nil
+}
+
+// Eccentricity returns the maximum finite hop distance from src (its
+// eccentricity within its component).
+func (g *Disk) Eccentricity(src int) (int, error) {
+	dist, err := g.BFSFrom(src)
+	if err != nil {
+		return 0, err
+	}
+	ecc := 0
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, nil
+}
+
+// ApproxDiameter estimates the hop diameter of the component containing
+// src by a double BFS sweep: BFS from src, then BFS from the farthest
+// vertex found. For disk graphs the sweep is a tight lower bound and is
+// exact on trees.
+func (g *Disk) ApproxDiameter(src int) (int, error) {
+	dist, err := g.BFSFrom(src)
+	if err != nil {
+		return 0, err
+	}
+	far, fd := src, 0
+	for i, d := range dist {
+		if d > fd {
+			far, fd = i, d
+		}
+	}
+	return g.Eccentricity(far)
+}
+
+// DegreeHistogram returns counts[d] = number of vertices with degree d.
+func (g *Disk) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for i := range g.pts {
+		h[g.Degree(i)]++
+	}
+	return h
+}
+
+// IsolatedCount returns the number of degree-zero vertices — in the MANET
+// reading, agents with no one in transmission range, the corner stragglers
+// that keep MRWP snapshots disconnected far above the uniform threshold.
+func (g *Disk) IsolatedCount() int {
+	var n int
+	for i := range g.pts {
+		if g.Degree(i) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MinDegree returns the minimum vertex degree (0 for the empty graph).
+func (g *Disk) MinDegree() int {
+	if len(g.pts) == 0 {
+		return 0
+	}
+	min := g.Degree(0)
+	for i := 1; i < len(g.pts); i++ {
+		if d := g.Degree(i); d < min {
+			min = d
+		}
+	}
+	return min
+}

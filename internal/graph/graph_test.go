@@ -1,0 +1,264 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"manhattanflood/internal/geom"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	u := NewUnionFind(5)
+	if u.Len() != 5 || u.Sets() != 5 {
+		t.Fatalf("fresh UF: len=%d sets=%d", u.Len(), u.Sets())
+	}
+	if !u.Union(0, 1) {
+		t.Error("first union must merge")
+	}
+	if u.Union(1, 0) {
+		t.Error("repeat union must not merge")
+	}
+	u.Union(2, 3)
+	if u.Sets() != 3 {
+		t.Errorf("Sets = %d, want 3", u.Sets())
+	}
+	if !u.Connected(0, 1) || u.Connected(0, 2) {
+		t.Error("connectivity wrong")
+	}
+	u.Union(1, 3)
+	if !u.Connected(0, 2) {
+		t.Error("transitive connectivity broken")
+	}
+	if u.SizeOf(0) != 4 {
+		t.Errorf("SizeOf = %d, want 4", u.SizeOf(0))
+	}
+	if u.SizeOf(4) != 1 {
+		t.Errorf("singleton SizeOf = %d, want 1", u.SizeOf(4))
+	}
+}
+
+// Property: after any union sequence, Sets() equals the number of distinct
+// roots and sizes sum to n.
+func TestUnionFindInvariantsProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const n = 40
+		u := NewUnionFind(n)
+		for _, op := range ops {
+			a := int(op) % n
+			b := int(op>>8) % n
+			u.Union(a, b)
+		}
+		roots := map[int]bool{}
+		var total int
+		counted := map[int]bool{}
+		for i := 0; i < n; i++ {
+			r := u.Find(i)
+			roots[r] = true
+			if !counted[r] {
+				counted[r] = true
+				total += u.SizeOf(i)
+			}
+		}
+		return len(roots) == u.Sets() && total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustDisk(t *testing.T, pts []geom.Point, side, r float64) *Disk {
+	t.Helper()
+	g, err := NewDisk(pts, side, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewDiskErrors(t *testing.T) {
+	if _, err := NewDisk(nil, 0, 1); err == nil {
+		t.Error("want side error")
+	}
+	if _, err := NewDisk(nil, 1, -1); err == nil {
+		t.Error("want radius error")
+	}
+}
+
+func TestDiskPathGraph(t *testing.T) {
+	// Points on a line spaced 1 apart, radius 1: a path graph.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(3, 0), geom.Pt(4, 0),
+	}
+	g := mustDisk(t, pts, 10, 1)
+	if g.Order() != 5 {
+		t.Errorf("Order = %d", g.Order())
+	}
+	if d := g.Degree(0); d != 1 {
+		t.Errorf("end degree = %d, want 1", d)
+	}
+	if d := g.Degree(2); d != 2 {
+		t.Errorf("middle degree = %d, want 2", d)
+	}
+	if !g.IsConnected() {
+		t.Error("path graph must be connected")
+	}
+	if f := g.GiantFraction(); f != 1 {
+		t.Errorf("GiantFraction = %v, want 1", f)
+	}
+	dist, err := g.BFSFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if dist[i] != want {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], want)
+		}
+	}
+	if ecc, _ := g.Eccentricity(2); ecc != 2 {
+		t.Errorf("Eccentricity(2) = %d, want 2", ecc)
+	}
+	if d, _ := g.ApproxDiameter(2); d != 4 {
+		t.Errorf("ApproxDiameter = %d, want 4", d)
+	}
+	if md := g.MinDegree(); md != 1 {
+		t.Errorf("MinDegree = %d, want 1", md)
+	}
+	if avg := g.AvgDegree(); avg != 8.0/5 {
+		t.Errorf("AvgDegree = %v, want 1.6", avg)
+	}
+}
+
+func TestDiskDisconnected(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), // component A
+		geom.Pt(5, 5), geom.Pt(5, 6), geom.Pt(6, 5), // component B
+		geom.Pt(9, 0), // isolated
+	}
+	g := mustDisk(t, pts, 10, 1.2)
+	if g.IsConnected() {
+		t.Error("graph must be disconnected")
+	}
+	u := g.Components()
+	if u.Sets() != 3 {
+		t.Errorf("components = %d, want 3", u.Sets())
+	}
+	if f := g.GiantFraction(); f != 0.5 {
+		t.Errorf("GiantFraction = %v, want 0.5", f)
+	}
+	dist, _ := g.BFSFrom(0)
+	if dist[2] != -1 || dist[5] != -1 {
+		t.Error("cross-component BFS distance must be -1")
+	}
+	if dist[1] != 1 {
+		t.Errorf("dist[1] = %d", dist[1])
+	}
+	h := g.DegreeHistogram()
+	if h[0] != 1 { // the isolated vertex
+		t.Errorf("degree-0 count = %d, want 1", h[0])
+	}
+	if g.MinDegree() != 0 {
+		t.Error("MinDegree must be 0 with an isolated vertex")
+	}
+	if g.IsolatedCount() != 1 {
+		t.Errorf("IsolatedCount = %d, want 1", g.IsolatedCount())
+	}
+}
+
+func TestDiskEmptyAndSingle(t *testing.T) {
+	g := mustDisk(t, nil, 1, 0.5)
+	if !g.IsConnected() {
+		t.Error("empty graph is connected by convention")
+	}
+	if g.AvgDegree() != 0 || g.GiantFraction() != 0 || g.MinDegree() != 0 {
+		t.Error("empty graph stats must be zero")
+	}
+	g1 := mustDisk(t, []geom.Point{geom.Pt(0.5, 0.5)}, 1, 0.5)
+	if !g1.IsConnected() || g1.GiantFraction() != 1 {
+		t.Error("single vertex graph wrong")
+	}
+}
+
+func TestBFSErrors(t *testing.T) {
+	g := mustDisk(t, []geom.Point{geom.Pt(0, 0)}, 1, 0.5)
+	if _, err := g.BFSFrom(-1); err == nil {
+		t.Error("want range error")
+	}
+	if _, err := g.BFSFrom(1); err == nil {
+		t.Error("want range error")
+	}
+	if _, err := g.Eccentricity(5); err == nil {
+		t.Error("want range error")
+	}
+	if _, err := g.ApproxDiameter(5); err == nil {
+		t.Error("want range error")
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	pts := make([]geom.Point, 200)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	g := mustDisk(t, pts, 10, 1.5)
+	adj := make([]map[int]bool, len(pts))
+	for i := range pts {
+		adj[i] = map[int]bool{}
+		for _, j := range g.Neighbors(i, nil) {
+			adj[i][j] = true
+		}
+	}
+	for i := range pts {
+		for j := range adj[i] {
+			if !adj[j][i] {
+				t.Fatalf("asymmetric adjacency %d-%d", i, j)
+			}
+		}
+	}
+}
+
+// Property: component count from union-find equals the count from repeated
+// BFS sweeps.
+func TestComponentsMatchBFSProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		n := 2 + rng.IntN(150)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+		}
+		g, err := NewDisk(pts, 10, 0.5+rng.Float64())
+		if err != nil {
+			return false
+		}
+		u := g.Components()
+		seen := make([]bool, n)
+		var sweeps int
+		for i := 0; i < n; i++ {
+			if seen[i] {
+				continue
+			}
+			sweeps++
+			dist, err := g.BFSFrom(i)
+			if err != nil {
+				return false
+			}
+			for j, d := range dist {
+				if d >= 0 {
+					if seen[j] && u.Find(j) != u.Find(i) {
+						return false
+					}
+					seen[j] = true
+					if !u.Connected(i, j) {
+						return false
+					}
+				}
+			}
+		}
+		return sweeps == u.Sets()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+// Package graph analyses snapshots of the MANET as symmetric disk graphs:
+// connected components, degrees, BFS hop distances, and connectivity
+// statistics. The paper's Section 1 discussion — the Central Zone being
+// connected while the Suburb sits exponentially below its connectivity
+// threshold — is quantified with these tools (experiment E8).
+package graph
+
+// UnionFind is a disjoint-set forest with union by size and path
+// compression.
+type UnionFind struct {
+	parent []int32
+	size   []int32
+	sets   int
+}
+
+// NewUnionFind creates n singleton sets labelled 0..n-1.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{
+		parent: make([]int32, n),
+		size:   make([]int32, n),
+		sets:   n,
+	}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.size[i] = 1
+	}
+	return u
+}
+
+// Len returns the number of elements.
+func (u *UnionFind) Len() int { return len(u.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (u *UnionFind) Sets() int { return u.sets }
+
+// Find returns the canonical representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	root := int32(x)
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	// Path compression.
+	for int32(x) != root {
+		next := u.parent[x]
+		u.parent[x] = root
+		x = int(next)
+	}
+	return int(root)
+}
+
+// Union merges the sets of a and b and reports whether a merge happened
+// (false if they were already together).
+func (u *UnionFind) Union(a, b int) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = int32(ra)
+	u.size[ra] += u.size[rb]
+	u.sets--
+	return true
+}
+
+// Connected reports whether a and b are in the same set.
+func (u *UnionFind) Connected(a, b int) bool { return u.Find(a) == u.Find(b) }
+
+// SizeOf returns the size of the set containing x.
+func (u *UnionFind) SizeOf(x int) int { return int(u.size[u.Find(x)]) }

@@ -1,0 +1,245 @@
+package mobility
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"manhattanflood/internal/dist"
+	"manhattanflood/internal/geom"
+)
+
+// MRWP is the Manhattan Random Way-Point model (paper, Section 2): each
+// agent repeatedly selects a uniform destination in the square and follows
+// one of the two L-shaped Manhattan shortest paths, chosen uniformly, at
+// constant speed.
+type MRWP struct {
+	cfg  Config
+	init InitMode
+	trip dist.TripSampler
+	spat dist.Spatial
+}
+
+var _ Model = (*MRWP)(nil)
+
+// MRWPOption customizes the model.
+type MRWPOption func(*MRWP)
+
+// WithInit selects the initialization mode (default InitStationary).
+func WithInit(m InitMode) MRWPOption {
+	return func(w *MRWP) { w.init = m }
+}
+
+// NewMRWP creates the Manhattan Random Way-Point model.
+func NewMRWP(cfg Config, opts ...MRWPOption) (*MRWP, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("mrwp: %w", err)
+	}
+	trip, err := dist.NewTripSampler(cfg.L)
+	if err != nil {
+		return nil, fmt.Errorf("mrwp: %w", err)
+	}
+	spat, err := dist.NewSpatial(cfg.L)
+	if err != nil {
+		return nil, fmt.Errorf("mrwp: %w", err)
+	}
+	m := &MRWP{cfg: cfg, trip: trip, spat: spat}
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
+}
+
+// Name implements Model.
+func (m *MRWP) Name() string { return "mrwp" }
+
+// Config returns the model parameters.
+func (m *MRWP) Config() Config { return m.cfg }
+
+// NewAgent implements Model.
+func (m *MRWP) NewAgent(rng *rand.Rand) Agent {
+	a := &MRWPAgent{cfg: m.cfg, rng: rng}
+	switch m.init {
+	case InitUniform:
+		src := geom.Pt(rng.Float64()*m.cfg.L, rng.Float64()*m.cfg.L)
+		a.path = geom.NewLPath(src, m.uniformPoint(rng), randOrder(rng))
+		a.travelled = 0
+	case InitTheorem12:
+		a.initFromTheorems(m, rng)
+	default: // InitStationary
+		t := m.trip.Sample(rng)
+		a.path, a.travelled = t.Path, t.Travelled
+	}
+	a.pos = a.path.At(a.travelled)
+	return a
+}
+
+// NewMRWPAgent creates a single stationary MRWP agent directly; a
+// convenience for tests and examples that do not need the Model factory.
+func (m *MRWP) NewMRWPAgent(rng *rand.Rand) *MRWPAgent {
+	return m.NewAgent(rng).(*MRWPAgent)
+}
+
+func (m *MRWP) uniformPoint(rng *rand.Rand) geom.Point {
+	return geom.Pt(rng.Float64()*m.cfg.L, rng.Float64()*m.cfg.L)
+}
+
+func randOrder(rng *rand.Rand) geom.LegOrder {
+	if rng.Float64() < 0.5 {
+		return geom.VerticalFirst
+	}
+	return geom.HorizontalFirst
+}
+
+// MRWPAgent is one agent of the MRWP model.
+type MRWPAgent struct {
+	cfg       Config
+	rng       *rand.Rand
+	path      geom.LPath
+	travelled float64
+	pos       geom.Point
+	turns     int64
+	waypoints int64
+}
+
+var (
+	_ Directed    = (*MRWPAgent)(nil)
+	_ TurnCounter = (*MRWPAgent)(nil)
+	_ Destined    = (*MRWPAgent)(nil)
+)
+
+// initFromTheorems builds the agent's state from the closed-form laws:
+// position ~ Theorem 1; destination ~ Theorem 2; for a quadrant destination
+// the current heading follows the Palm leg-weight decomposition, which
+// fixes the remaining route.
+func (a *MRWPAgent) initFromTheorems(m *MRWP, rng *rand.Rand) {
+	var pos geom.Point
+	for {
+		pos = m.spat.Sample(rng)
+		// The destination law is undefined exactly at corners (a
+		// zero-probability event, but rejection keeps the sampler total).
+		if pos.X*(m.cfg.L-pos.X)+pos.Y*(m.cfg.L-pos.Y) > 0 {
+			break
+		}
+	}
+	dl, err := dist.NewDestination(m.cfg.L, pos)
+	if err != nil {
+		// Unreachable after the rejection loop above; fall back to a fresh
+		// uniform trip rather than panicking in library code.
+		a.path = geom.NewLPath(pos, m.uniformPoint(rng), randOrder(rng))
+		a.travelled = 0
+		return
+	}
+	dst, onCross := dl.Sample(rng)
+	if onCross {
+		// Final leg: a single straight segment; either leg order yields it.
+		a.path = geom.NewLPath(pos, dst, geom.VerticalFirst)
+		a.travelled = 0
+		return
+	}
+	heading := dl.HeadingGivenQuadrant(rng, dst)
+	order := geom.VerticalFirst
+	if heading.Horizontal() {
+		order = geom.HorizontalFirst
+	}
+	a.path = geom.NewLPath(pos, dst, order)
+	a.travelled = 0
+}
+
+// Pos implements Agent.
+func (a *MRWPAgent) Pos() geom.Point { return a.pos }
+
+// Speed implements Agent.
+func (a *MRWPAgent) Speed() float64 { return a.cfg.V }
+
+// Destination implements Destined.
+func (a *MRWPAgent) Destination() geom.Point { return a.path.Dst }
+
+// Heading implements Directed.
+func (a *MRWPAgent) Heading() geom.Heading { return a.path.HeadingAt(a.travelled) }
+
+// Turns implements TurnCounter.
+func (a *MRWPAgent) Turns() int64 { return a.turns }
+
+// Waypoints implements TurnCounter.
+func (a *MRWPAgent) Waypoints() int64 { return a.waypoints }
+
+// Path returns the current L-path (for tests and trace tooling).
+func (a *MRWPAgent) Path() geom.LPath { return a.path }
+
+// OnSecondLeg reports whether the agent is past its turn point.
+func (a *MRWPAgent) OnSecondLeg() bool { return a.path.OnSecondLeg(a.travelled) }
+
+// Step implements Agent. It advances the agent by distance V along its
+// route, chaining into fresh trips as destinations are reached within the
+// time unit, and counts direction changes (the paper's "turns").
+func (a *MRWPAgent) Step() {
+	residual := a.cfg.V
+	for residual > 0 {
+		length := a.path.Length()
+		remain := length - a.travelled
+		if residual < remain {
+			before := a.path.HeadingAt(a.travelled)
+			corner := a.path.FirstLegLength()
+			crossesCorner := a.travelled < corner && a.travelled+residual >= corner
+			a.travelled += residual
+			residual = 0
+			if crossesCorner {
+				after := a.path.HeadingAt(a.travelled)
+				if after != before && before != geom.HeadingNone && after != geom.HeadingNone {
+					a.turns++
+				}
+			}
+			break
+		}
+		// Reach the destination; account for a mid-path corner turn if it
+		// is still ahead of the current progress.
+		if corner := a.path.FirstLegLength(); a.travelled < corner && corner < length {
+			h1 := a.path.HeadingAt(a.travelled)
+			h2 := a.path.HeadingAt(corner)
+			if h1 != h2 && h1 != geom.HeadingNone && h2 != geom.HeadingNone {
+				a.turns++
+			}
+		}
+		residual -= remain
+		lastHeading := headingInto(a.path)
+		a.startTrip()
+		a.waypoints++
+		if nh := a.path.HeadingAt(0); nh != lastHeading && nh != geom.HeadingNone && lastHeading != geom.HeadingNone {
+			a.turns++
+		}
+	}
+	a.pos = a.path.At(a.travelled).Clamp(a.cfg.L)
+}
+
+// startTrip begins a fresh trip from the current destination.
+func (a *MRWPAgent) startTrip() {
+	src := a.path.Dst
+	dst := geom.Pt(a.rng.Float64()*a.cfg.L, a.rng.Float64()*a.cfg.L)
+	a.path = geom.NewLPath(src, dst, randOrder(a.rng))
+	a.travelled = 0
+}
+
+// headingInto returns the direction the path is travelled in as it arrives
+// at its destination (the last non-degenerate leg's direction).
+func headingInto(p geom.LPath) geom.Heading {
+	c := p.Corner()
+	if c != p.Dst {
+		return headingBetween(c, p.Dst)
+	}
+	return headingBetween(p.Src, p.Dst)
+}
+
+func headingBetween(a, b geom.Point) geom.Heading {
+	switch {
+	case b.X > a.X:
+		return geom.HeadingEast
+	case b.X < a.X:
+		return geom.HeadingWest
+	case b.Y > a.Y:
+		return geom.HeadingNorth
+	case b.Y < a.Y:
+		return geom.HeadingSouth
+	default:
+		return geom.HeadingNone
+	}
+}

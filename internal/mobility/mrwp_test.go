@@ -1,0 +1,311 @@
+package mobility
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"manhattanflood/internal/dist"
+	"manhattanflood/internal/geom"
+	"manhattanflood/internal/stats"
+)
+
+func testRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed^0x9e3779b9)) }
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"ok", Config{L: 10, V: 1}, false},
+		{"zero-L", Config{L: 0, V: 1}, true},
+		{"neg-V", Config{L: 10, V: -1}, true},
+		{"nan-L", Config{L: math.NaN(), V: 1}, true},
+		{"inf-V", Config{L: 10, V: math.Inf(1)}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cfg.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewMRWPErrors(t *testing.T) {
+	if _, err := NewMRWP(Config{L: 0, V: 1}); err == nil {
+		t.Error("want config error")
+	}
+	if _, err := NewMRWP(Config{L: 1, V: 1}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestMRWPAgentStaysInSquare(t *testing.T) {
+	const l = 5.0
+	for _, mode := range []InitMode{InitStationary, InitUniform, InitTheorem12} {
+		t.Run(mode.String(), func(t *testing.T) {
+			m, err := NewMRWP(Config{L: l, V: 0.3}, WithInit(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sq := geom.Square(geom.Pt(0, 0), l)
+			rng := testRNG(uint64(mode) + 1)
+			for i := 0; i < 20; i++ {
+				a := m.NewAgent(rng)
+				for s := 0; s < 500; s++ {
+					if !a.Pos().In(sq) {
+						t.Fatalf("agent left the square at step %d: %v", s, a.Pos())
+					}
+					a.Step()
+				}
+			}
+		})
+	}
+}
+
+func TestMRWPStepDistance(t *testing.T) {
+	// Within one step the agent's displacement along its route is exactly V;
+	// the Euclidean displacement is at most V.
+	m, err := NewMRWP(Config{L: 10, V: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := testRNG(2)
+	a := m.NewMRWPAgent(rng)
+	for s := 0; s < 2000; s++ {
+		before := a.Pos()
+		a.Step()
+		d := before.Dist(a.Pos())
+		if d > 0.25+1e-9 {
+			t.Fatalf("step %d: euclidean move %v exceeds speed", s, d)
+		}
+		// Manhattan displacement equals V unless a way-point reset bent the
+		// route mid-step; it can never exceed V.
+		if md := before.ManhattanDist(a.Pos()); md > 0.25+1e-9 {
+			t.Fatalf("step %d: manhattan move %v exceeds speed", s, md)
+		}
+	}
+}
+
+func TestMRWPManhattanMoveExactWithinTrip(t *testing.T) {
+	// With a destination far away, consecutive positions differ by exactly V
+	// in Manhattan distance.
+	m, _ := NewMRWP(Config{L: 100, V: 0.1}, WithInit(InitUniform))
+	rng := testRNG(3)
+	a := m.NewMRWPAgent(rng)
+	for s := 0; s < 50; s++ {
+		if a.Path().Length()-aTravelled(a) < 1 {
+			break // too close to the way-point; stop before a reset
+		}
+		before := a.Pos()
+		a.Step()
+		if md := before.ManhattanDist(a.Pos()); math.Abs(md-0.1) > 1e-9 {
+			t.Fatalf("step %d: manhattan move %v, want exactly 0.1", s, md)
+		}
+	}
+}
+
+// aTravelled exposes the private travelled field via path arithmetic.
+func aTravelled(a *MRWPAgent) float64 {
+	return a.Path().Src.ManhattanDist(a.Pos())
+}
+
+func TestMRWPHeadingAxisParallel(t *testing.T) {
+	m, _ := NewMRWP(Config{L: 10, V: 0.2})
+	rng := testRNG(4)
+	for i := 0; i < 10; i++ {
+		a := m.NewMRWPAgent(rng)
+		for s := 0; s < 200; s++ {
+			h := a.Heading()
+			if h == geom.HeadingNone && a.Path().Length() > aTravelled(a)+1e-9 {
+				t.Fatalf("agent mid-trip with no heading")
+			}
+			a.Step()
+		}
+	}
+}
+
+func TestMRWPTurnsAccumulate(t *testing.T) {
+	m, _ := NewMRWP(Config{L: 4, V: 0.5})
+	rng := testRNG(5)
+	a := m.NewMRWPAgent(rng)
+	for s := 0; s < 4000; s++ {
+		a.Step()
+	}
+	if a.Turns() == 0 {
+		t.Error("agent performed no turns in 4000 steps")
+	}
+	if a.Waypoints() == 0 {
+		t.Error("agent reached no way-points in 4000 steps")
+	}
+	// Mean trip length is 2L/3, so 4000 steps at V=0.5 travel 2000 distance
+	// units ~ 750 trips. Each trip has at most 1 in-path corner plus 1
+	// possible turn at the way-point.
+	if w := a.Waypoints(); w < 400 || w > 1200 {
+		t.Errorf("implausible way-point count %d", w)
+	}
+	if tu := a.Turns(); tu > 2*(a.Waypoints()+1) {
+		t.Errorf("turns %d exceed structural maximum %d", tu, 2*(a.Waypoints()+1))
+	}
+}
+
+// The long-run empirical position density of a cold-started MRWP agent must
+// converge to Theorem 1 — the ergodic-theorem validation of the dynamics.
+func TestMRWPErgodicDensityMatchesTheorem1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long ergodic test skipped in -short mode")
+	}
+	const l = 1.0
+	m, err := NewMRWP(Config{L: l, V: 0.02}, WithInit(InitUniform))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := dist.NewSpatial(l)
+	rng := testRNG(6)
+	g, _ := stats.NewGrid2D(l, 8)
+	const agents = 60
+	const warm = 400
+	const steps = 4000
+	for i := 0; i < agents; i++ {
+		a := m.NewAgent(rng)
+		for s := 0; s < warm; s++ {
+			a.Step()
+		}
+		for s := 0; s < steps; s++ {
+			a.Step()
+			p := a.Pos()
+			g.Add(p.X, p.Y)
+		}
+	}
+	_, _, l1 := g.CompareDensity(sp.Density)
+	if l1 > 0.06 {
+		t.Errorf("ergodic L1 distance to Theorem 1 = %v, want < 0.06", l1)
+	}
+}
+
+// Stationary initialization must match Theorem 1 at time zero AND stay
+// matched after stepping (stationarity is preserved by the dynamics).
+func TestMRWPStationaryInitIsStationary(t *testing.T) {
+	const l = 1.0
+	m, err := NewMRWP(Config{L: l, V: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := dist.NewSpatial(l)
+	rng := testRNG(7)
+	g0, _ := stats.NewGrid2D(l, 8)
+	g10, _ := stats.NewGrid2D(l, 8)
+	const agents = 40000
+	for i := 0; i < agents; i++ {
+		a := m.NewAgent(rng)
+		p := a.Pos()
+		g0.Add(p.X, p.Y)
+		for s := 0; s < 10; s++ {
+			a.Step()
+		}
+		p = a.Pos()
+		g10.Add(p.X, p.Y)
+	}
+	_, _, l1at0 := g0.CompareDensity(sp.Density)
+	_, _, l1at10 := g10.CompareDensity(sp.Density)
+	if l1at0 > 0.04 {
+		t.Errorf("t=0 L1 distance = %v, want < 0.04", l1at0)
+	}
+	if l1at10 > 0.04 {
+		t.Errorf("t=10 L1 distance = %v, want < 0.04 (stationarity violated)", l1at10)
+	}
+}
+
+// The two independent stationary initializers must produce the same law.
+func TestMRWPTheorem12InitMatchesStationaryInit(t *testing.T) {
+	const l = 1.0
+	mPalm, _ := NewMRWP(Config{L: l, V: 0.05})
+	mThm, _ := NewMRWP(Config{L: l, V: 0.05}, WithInit(InitTheorem12))
+	sp, _ := dist.NewSpatial(l)
+	rngA, rngB := testRNG(8), testRNG(9)
+	gA, _ := stats.NewGrid2D(l, 8)
+	gB, _ := stats.NewGrid2D(l, 8)
+	var crossA, crossB int
+	const agents = 30000
+	for i := 0; i < agents; i++ {
+		a := mPalm.NewMRWPAgent(rngA)
+		b := mThm.NewMRWPAgent(rngB)
+		pa, pb := a.Pos(), b.Pos()
+		gA.Add(pa.X, pa.Y)
+		gB.Add(pb.X, pb.Y)
+		if a.OnSecondLeg() || a.Destination().X == pa.X || a.Destination().Y == pa.Y {
+			crossA++
+		}
+		if b.OnSecondLeg() || b.Destination().X == pb.X || b.Destination().Y == pb.Y {
+			crossB++
+		}
+	}
+	_, _, l1A := gA.CompareDensity(sp.Density)
+	_, _, l1B := gB.CompareDensity(sp.Density)
+	if l1A > 0.05 || l1B > 0.05 {
+		t.Errorf("position laws differ from Theorem 1: palm=%v thm12=%v", l1A, l1B)
+	}
+	fa := float64(crossA) / agents
+	fb := float64(crossB) / agents
+	if math.Abs(fa-0.5) > 0.02 || math.Abs(fb-0.5) > 0.02 {
+		t.Errorf("final-leg fractions: palm=%v thm12=%v, want ~0.5 each", fa, fb)
+	}
+}
+
+func TestMRWPDeterminism(t *testing.T) {
+	m, _ := NewMRWP(Config{L: 10, V: 0.5})
+	a1 := m.NewMRWPAgent(testRNG(42))
+	a2 := m.NewMRWPAgent(testRNG(42))
+	for s := 0; s < 300; s++ {
+		if a1.Pos() != a2.Pos() {
+			t.Fatalf("divergence at step %d", s)
+		}
+		a1.Step()
+		a2.Step()
+	}
+	if a1.Turns() != a2.Turns() || a1.Waypoints() != a2.Waypoints() {
+		t.Error("counters diverged")
+	}
+}
+
+func TestMRWPFastAgentMultiTripStep(t *testing.T) {
+	// V far larger than the square: each step chains through many trips and
+	// must terminate, stay inside, and count way-points.
+	m, _ := NewMRWP(Config{L: 1, V: 25})
+	rng := testRNG(10)
+	a := m.NewMRWPAgent(rng)
+	sq := geom.Square(geom.Pt(0, 0), 1)
+	for s := 0; s < 50; s++ {
+		a.Step()
+		if !a.Pos().In(sq) {
+			t.Fatalf("fast agent escaped: %v", a.Pos())
+		}
+	}
+	// 50 steps x 25 distance / (2/3 mean trip) ~ 1800 way-points.
+	if w := a.Waypoints(); w < 1000 {
+		t.Errorf("fast agent way-points = %d, want > 1000", w)
+	}
+}
+
+func TestInitModeString(t *testing.T) {
+	if InitStationary.String() != "stationary" ||
+		InitUniform.String() != "uniform" ||
+		InitTheorem12.String() != "theorem12" {
+		t.Error("InitMode strings wrong")
+	}
+	if InitMode(99).String() != "InitMode(99)" {
+		t.Error("unknown InitMode string wrong")
+	}
+}
+
+func TestMRWPModelMetadata(t *testing.T) {
+	m, _ := NewMRWP(Config{L: 3, V: 1})
+	if m.Name() != "mrwp" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if m.Config() != (Config{L: 3, V: 1}) {
+		t.Errorf("Config = %+v", m.Config())
+	}
+}

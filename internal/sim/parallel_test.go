@@ -1,0 +1,70 @@
+package sim
+
+import "testing"
+
+func TestParallelStepBitIdentical(t *testing.T) {
+	base := Params{N: 500, L: 20, R: 2, V: 0.3, Seed: 77}
+	par := base
+	par.Workers = 4
+	w1, err := NewWorld(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := NewWorld(par, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 50; s++ {
+		w1.Step()
+		w2.Step()
+		for i := 0; i < base.N; i++ {
+			if w1.Position(i) != w2.Position(i) {
+				t.Fatalf("step %d agent %d: sequential %v vs parallel %v",
+					s, i, w1.Position(i), w2.Position(i))
+			}
+		}
+	}
+}
+
+func TestParallelStepSmallPopulationFallsBack(t *testing.T) {
+	// Fewer agents than 2x workers: the sequential path runs; results must
+	// still be correct.
+	p := Params{N: 5, L: 10, R: 1, V: 0.2, Seed: 3, Workers: 8}
+	w, err := NewWorld(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Step()
+	if w.Time() != 1 {
+		t.Error("step did not advance")
+	}
+}
+
+func TestNegativeWorkersRejected(t *testing.T) {
+	p := Params{N: 5, L: 10, R: 1, V: 0.2, Workers: -1}
+	if err := p.Validate(); err == nil {
+		t.Error("want Workers error")
+	}
+}
+
+func BenchmarkStepSequential20k(b *testing.B) {
+	w, err := NewWorld(Params{N: 20000, L: 141, R: 3, V: 0.3, Seed: 1}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Step()
+	}
+}
+
+func BenchmarkStepParallel20k(b *testing.B) {
+	w, err := NewWorld(Params{N: 20000, L: 141, R: 3, V: 0.3, Seed: 1, Workers: 8}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Step()
+	}
+}

@@ -1,0 +1,230 @@
+// Package sim provides the discrete-time simulation engine: a World of n
+// agents driven by a mobility model in lockstep, with a rebuilt
+// fixed-radius neighbor index per step and deterministic seeding.
+//
+// The engine is deliberately protocol-agnostic; the flooding process (the
+// paper's subject) lives in internal/core and observes the World through
+// its snapshot accessors.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+
+	"manhattanflood/internal/geom"
+	"manhattanflood/internal/graph"
+	"manhattanflood/internal/mobility"
+	"manhattanflood/internal/spatialindex"
+)
+
+// Params configures a World.
+type Params struct {
+	// N is the number of agents, N >= 1.
+	N int
+	// L is the square side length.
+	L float64
+	// R is the transmission radius (used to size the neighbor index).
+	R float64
+	// V is the agent speed per time unit.
+	V float64
+	// Seed drives all randomness; identical Params yield identical runs.
+	Seed uint64
+	// Workers sets the number of goroutines used to step agents. 0 or 1
+	// steps sequentially. Because every agent owns an independent RNG
+	// stream and writes only its own slot, parallel stepping is exactly
+	// deterministic and bit-identical to sequential stepping.
+	Workers int
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("sim: N must be at least 1, got %d", p.N)
+	}
+	if p.L <= 0 || math.IsNaN(p.L) || math.IsInf(p.L, 0) {
+		return fmt.Errorf("sim: L must be positive and finite, got %v", p.L)
+	}
+	if p.R <= 0 || math.IsNaN(p.R) || math.IsInf(p.R, 0) {
+		return fmt.Errorf("sim: R must be positive and finite, got %v", p.R)
+	}
+	if p.V <= 0 || math.IsNaN(p.V) || math.IsInf(p.V, 0) {
+		return fmt.Errorf("sim: V must be positive and finite, got %v", p.V)
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("sim: Workers must be non-negative, got %d", p.Workers)
+	}
+	return nil
+}
+
+// ModelFactory builds a mobility model for a World's (L, V); it lets the
+// caller choose the model and its options without sim importing the choice.
+type ModelFactory func(cfg mobility.Config) (mobility.Model, error)
+
+// MRWPFactory is the default factory: the paper's Manhattan Random
+// Way-Point model with stationary (perfect-simulation) initialization.
+func MRWPFactory(opts ...mobility.MRWPOption) ModelFactory {
+	return func(cfg mobility.Config) (mobility.Model, error) {
+		return mobility.NewMRWP(cfg, opts...)
+	}
+}
+
+// RWPFactory builds the straight-line RWP baseline.
+func RWPFactory(opts ...mobility.RWPOption) ModelFactory {
+	return func(cfg mobility.Config) (mobility.Model, error) {
+		return mobility.NewRWP(cfg, opts...)
+	}
+}
+
+// PausedMRWPFactory builds the MRWP variant with Uniform(0, maxPause)
+// way-point pauses, stationary-initialized.
+func PausedMRWPFactory(maxPause float64) ModelFactory {
+	return func(cfg mobility.Config) (mobility.Model, error) {
+		return mobility.NewPausedMRWP(cfg, maxPause)
+	}
+}
+
+// RandomWalkFactory builds the random-walk baseline.
+func RandomWalkFactory() ModelFactory {
+	return func(cfg mobility.Config) (mobility.Model, error) {
+		return mobility.NewRandomWalk(cfg)
+	}
+}
+
+// RandomDirectionFactory builds the random-direction baseline.
+func RandomDirectionFactory() ModelFactory {
+	return func(cfg mobility.Config) (mobility.Model, error) {
+		return mobility.NewRandomDirection(cfg)
+	}
+}
+
+// World is a population of agents stepped in lockstep.
+type World struct {
+	params Params
+	model  mobility.Model
+	agents []mobility.Agent
+	pos    []geom.Point
+	index  *spatialindex.Index
+	step   int
+}
+
+// NewWorld creates a world of p.N agents using the given mobility model
+// factory (nil means MRWPFactory()).
+func NewWorld(p Params, factory ModelFactory) (*World, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if factory == nil {
+		factory = MRWPFactory()
+	}
+	model, err := factory(mobility.Config{L: p.L, V: p.V})
+	if err != nil {
+		return nil, fmt.Errorf("sim: building model: %w", err)
+	}
+	ix, err := spatialindex.New(p.L, p.R)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	w := &World{
+		params: p,
+		model:  model,
+		agents: make([]mobility.Agent, p.N),
+		pos:    make([]geom.Point, p.N),
+		index:  ix,
+	}
+	for i := range w.agents {
+		// Independent per-agent PCG streams split from the world seed.
+		rng := rand.New(rand.NewPCG(p.Seed, uint64(i)+0x9e3779b97f4a7c15))
+		w.agents[i] = model.NewAgent(rng)
+		w.pos[i] = w.agents[i].Pos()
+	}
+	w.index.Rebuild(w.pos)
+	return w, nil
+}
+
+// Params returns the world's parameters.
+func (w *World) Params() Params { return w.params }
+
+// ModelName returns the mobility model's name.
+func (w *World) ModelName() string { return w.model.Name() }
+
+// N returns the number of agents.
+func (w *World) N() int { return len(w.agents) }
+
+// Time returns the number of steps taken so far.
+func (w *World) Time() int { return w.step }
+
+// Step advances every agent by one time unit and rebuilds the neighbor
+// index. With Params.Workers > 1 the agent moves run on that many
+// goroutines; the result is bit-identical to sequential stepping because
+// agents are fully independent.
+func (w *World) Step() {
+	if w.params.Workers > 1 && len(w.agents) >= 2*w.params.Workers {
+		w.stepParallel()
+	} else {
+		for i, a := range w.agents {
+			a.Step()
+			w.pos[i] = a.Pos()
+		}
+	}
+	w.index.Rebuild(w.pos)
+	w.step++
+}
+
+func (w *World) stepParallel() {
+	workers := w.params.Workers
+	n := len(w.agents)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				w.agents[i].Step()
+				w.pos[i] = w.agents[i].Pos()
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// Position returns agent i's current position.
+func (w *World) Position(i int) geom.Point { return w.pos[i] }
+
+// Positions returns the live position slice. It is re-used across steps;
+// callers must copy it if they need a stable snapshot.
+func (w *World) Positions() []geom.Point { return w.pos }
+
+// Agent returns agent i (for model-specific introspection such as turn
+// counters).
+func (w *World) Agent(i int) mobility.Agent { return w.agents[i] }
+
+// Index returns the neighbor index for the current step. It is valid until
+// the next Step call.
+func (w *World) Index() *spatialindex.Index { return w.index }
+
+// SnapshotGraph builds the disk graph G_t of the current step.
+func (w *World) SnapshotGraph() (*graph.Disk, error) {
+	// Copy positions: the graph must stay valid across future steps.
+	pts := append([]geom.Point(nil), w.pos...)
+	return graph.NewDisk(pts, w.params.L, w.params.R)
+}
+
+// NearestAgent returns the id of the agent closest to pt (ties broken by
+// lowest id). It scans all agents; intended for source placement, not hot
+// loops.
+func (w *World) NearestAgent(pt geom.Point) int {
+	best, bestD := 0, math.Inf(1)
+	for i, p := range w.pos {
+		if d := p.Dist2(pt); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,183 @@
+// Package spatialindex provides a uniform-grid point index over the square
+// [0, L]^2 for fixed-radius neighbor queries — the inner loop of both the
+// disk-graph construction and the flooding transmission step.
+//
+// The grid bucket side equals the query radius, so a radius query only has
+// to scan the 3x3 block of buckets around the query point: O(number of
+// neighbors) expected time under any bounded density.
+//
+// An intentionally naive O(n^2) reference implementation (Brute) backs the
+// property tests.
+package spatialindex
+
+import (
+	"fmt"
+	"math"
+
+	"manhattanflood/internal/geom"
+)
+
+// Index is a uniform-grid fixed-radius neighbor index. Build it once per
+// simulation step with Rebuild; queries are read-only and may run
+// concurrently after a Rebuild completes.
+type Index struct {
+	side    float64
+	radius  float64
+	cols    int
+	buckets [][]int32 // bucket -> point ids
+	pts     []geom.Point
+}
+
+// New creates an index over [0, side]^2 for neighbor queries at the given
+// radius.
+func New(side, radius float64) (*Index, error) {
+	if side <= 0 || math.IsNaN(side) || math.IsInf(side, 0) {
+		return nil, fmt.Errorf("spatialindex: side must be positive and finite, got %v", side)
+	}
+	if radius <= 0 || math.IsNaN(radius) || math.IsInf(radius, 0) {
+		return nil, fmt.Errorf("spatialindex: radius must be positive and finite, got %v", radius)
+	}
+	cols := int(math.Ceil(side / radius))
+	if cols < 1 {
+		cols = 1
+	}
+	return &Index{
+		side:    side,
+		radius:  radius,
+		cols:    cols,
+		buckets: make([][]int32, cols*cols),
+	}, nil
+}
+
+// Radius returns the query radius the index was built for.
+func (ix *Index) Radius() float64 { return ix.radius }
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return len(ix.pts) }
+
+// Rebuild re-populates the index with pts. Point ids are the slice indices.
+// The pts slice is retained (not copied); callers must not mutate it until
+// the next Rebuild.
+func (ix *Index) Rebuild(pts []geom.Point) {
+	for i := range ix.buckets {
+		ix.buckets[i] = ix.buckets[i][:0]
+	}
+	ix.pts = pts
+	for i, p := range pts {
+		b := ix.bucketOf(p)
+		ix.buckets[b] = append(ix.buckets[b], int32(i))
+	}
+}
+
+func (ix *Index) bucketOf(p geom.Point) int {
+	cx := ix.clampCol(int(p.X / ix.radius))
+	cy := ix.clampCol(int(p.Y / ix.radius))
+	return cy*ix.cols + cx
+}
+
+func (ix *Index) clampCol(c int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= ix.cols {
+		return ix.cols - 1
+	}
+	return c
+}
+
+// VisitNeighbors calls fn for every indexed point within Euclidean distance
+// r <= Radius of q, excluding the point with id exclude (pass -1 to keep
+// all). Iteration stops early if fn returns false.
+func (ix *Index) VisitNeighbors(q geom.Point, exclude int, fn func(id int, p geom.Point) bool) {
+	r2 := ix.radius * ix.radius
+	cx := ix.clampCol(int(q.X / ix.radius))
+	cy := ix.clampCol(int(q.Y / ix.radius))
+	for dy := -1; dy <= 1; dy++ {
+		by := cy + dy
+		if by < 0 || by >= ix.cols {
+			continue
+		}
+		for dx := -1; dx <= 1; dx++ {
+			bx := cx + dx
+			if bx < 0 || bx >= ix.cols {
+				continue
+			}
+			for _, id := range ix.buckets[by*ix.cols+bx] {
+				if int(id) == exclude {
+					continue
+				}
+				p := ix.pts[id]
+				if p.Dist2(q) <= r2 {
+					if !fn(int(id), p) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Neighbors returns the ids of all indexed points within the index radius
+// of q, excluding the point with id exclude (pass -1 to keep all). The
+// result is appended to dst to allow allocation reuse.
+func (ix *Index) Neighbors(q geom.Point, exclude int, dst []int) []int {
+	ix.VisitNeighbors(q, exclude, func(id int, _ geom.Point) bool {
+		dst = append(dst, id)
+		return true
+	})
+	return dst
+}
+
+// CountNeighbors returns the number of indexed points within the radius of
+// q, excluding the point with id exclude (pass -1 to keep all).
+func (ix *Index) CountNeighbors(q geom.Point, exclude int) int {
+	var n int
+	ix.VisitNeighbors(q, exclude, func(int, geom.Point) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// HasNeighborWhere reports whether some indexed point within the radius of
+// q (excluding exclude) satisfies pred. It short-circuits on the first hit.
+func (ix *Index) HasNeighborWhere(q geom.Point, exclude int, pred func(id int) bool) bool {
+	var found bool
+	ix.VisitNeighbors(q, exclude, func(id int, _ geom.Point) bool {
+		if pred(id) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Brute is the O(n^2) reference neighbor finder used to validate Index in
+// the property tests.
+type Brute struct {
+	pts    []geom.Point
+	radius float64
+}
+
+// NewBrute creates a brute-force reference index.
+func NewBrute(radius float64) *Brute { return &Brute{radius: radius} }
+
+// Rebuild re-populates the reference index.
+func (b *Brute) Rebuild(pts []geom.Point) { b.pts = pts }
+
+// Neighbors returns all point ids within the radius of q, excluding
+// exclude.
+func (b *Brute) Neighbors(q geom.Point, exclude int) []int {
+	r2 := b.radius * b.radius
+	var out []int
+	for i, p := range b.pts {
+		if i == exclude {
+			continue
+		}
+		if p.Dist2(q) <= r2 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

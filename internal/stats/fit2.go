@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Fit2 is the result of a two-regressor least-squares fit
+// y = A*x1 + B*x2 (no intercept): the form of the paper's Theorem 3 bound
+// T ~ a*(L/R) + b*(S/v), whose two coefficients experiments estimate.
+type Fit2 struct {
+	A, B float64
+	R2   float64
+}
+
+// LinearFit2 fits y = A*x1 + B*x2 by ordinary least squares through the
+// origin. It needs at least two points and regressors that are not
+// collinear.
+func LinearFit2(x1, x2, y []float64) (Fit2, error) {
+	if len(x1) != len(y) || len(x2) != len(y) {
+		return Fit2{}, fmt.Errorf("stats: mismatched lengths %d, %d, %d", len(x1), len(x2), len(y))
+	}
+	if len(y) < 2 {
+		return Fit2{}, ErrInsufficient
+	}
+	// Normal equations for the 2x2 system.
+	var s11, s12, s22, s1y, s2y float64
+	for i := range y {
+		s11 += x1[i] * x1[i]
+		s12 += x1[i] * x2[i]
+		s22 += x2[i] * x2[i]
+		s1y += x1[i] * y[i]
+		s2y += x2[i] * y[i]
+	}
+	det := s11*s22 - s12*s12
+	if math.Abs(det) < 1e-12*(s11*s22+1e-300) {
+		return Fit2{}, errors.New("stats: collinear regressors")
+	}
+	f := Fit2{
+		A: (s22*s1y - s12*s2y) / det,
+		B: (s11*s2y - s12*s1y) / det,
+	}
+	// R^2 against the mean-zero total sum of squares.
+	my := Mean(y)
+	var sse, sst float64
+	for i := range y {
+		r := y[i] - (f.A*x1[i] + f.B*x2[i])
+		sse += r * r
+		d := y[i] - my
+		sst += d * d
+	}
+	if sst > 0 {
+		f.R2 = 1 - sse/sst
+	} else {
+		f.R2 = 1
+	}
+	return f, nil
+}

@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestLinearFit2Exact(t *testing.T) {
+	// y = 3*x1 + 0.5*x2
+	x1 := []float64{1, 2, 3, 4, 5}
+	x2 := []float64{10, 5, 2, 8, 1}
+	y := make([]float64, len(x1))
+	for i := range y {
+		y[i] = 3*x1[i] + 0.5*x2[i]
+	}
+	f, err := LinearFit2(x1, x2, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.A-3) > 1e-9 || math.Abs(f.B-0.5) > 1e-9 {
+		t.Errorf("fit = %+v, want A=3 B=0.5", f)
+	}
+	if f.R2 < 0.999999 {
+		t.Errorf("R2 = %v", f.R2)
+	}
+}
+
+func TestLinearFit2Errors(t *testing.T) {
+	if _, err := LinearFit2([]float64{1}, []float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("want mismatch error")
+	}
+	if _, err := LinearFit2([]float64{1}, []float64{1}, []float64{1}); !errors.Is(err, ErrInsufficient) {
+		t.Error("want ErrInsufficient")
+	}
+	// Collinear regressors: x2 = 2*x1.
+	x1 := []float64{1, 2, 3}
+	x2 := []float64{2, 4, 6}
+	if _, err := LinearFit2(x1, x2, []float64{1, 2, 3}); err == nil {
+		t.Error("want collinearity error")
+	}
+}
+
+func TestLinearFit2NoisyRecovery(t *testing.T) {
+	// Deterministic pseudo-noise; coefficients recovered within tolerance.
+	x1 := make([]float64, 50)
+	x2 := make([]float64, 50)
+	y := make([]float64, 50)
+	for i := range y {
+		x1[i] = float64(i + 1)
+		x2[i] = float64((i*7)%13 + 1)
+		noise := 0.01 * math.Sin(float64(i)*1.7)
+		y[i] = 2*x1[i] + 5*x2[i] + noise
+	}
+	f, err := LinearFit2(x1, x2, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.A-2) > 0.01 || math.Abs(f.B-5) > 0.01 {
+		t.Errorf("fit = %+v", f)
+	}
+}

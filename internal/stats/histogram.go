@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-width one-dimensional histogram over [Lo, Hi).
+// Samples outside the range are counted in Under/Over instead of a bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	Under  int64
+	Over   int64
+	total  int64
+}
+
+// NewHistogram creates a histogram with the given number of equal-width
+// bins over [lo, hi). It returns an error for a non-positive bin count or an
+// empty range.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: bins must be positive, got %d", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: empty histogram range [%v, %v)", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // guard float rounding at the upper edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of samples recorded, including out-of-range ones.
+func (h *Histogram) Total() int64 { return h.total }
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.Counts)) }
+
+// BinCenter returns the center of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth()
+}
+
+// Density returns the estimated probability density at bin i, i.e. the bin's
+// share of in-range mass divided by the bin width. It returns 0 when no
+// samples have been recorded.
+func (h *Histogram) Density(i int) float64 {
+	inRange := h.total - h.Under - h.Over
+	if inRange == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(inRange) / h.BinWidth()
+}
+
+// Grid2D is a fixed-resolution 2-D histogram / scalar field over the square
+// [0, Side] x [0, Side]. It backs the empirical spatial-density maps
+// (Figure 1 reproduction) and any cell-resolution scalar field.
+type Grid2D struct {
+	Side  float64
+	Bins  int
+	Cells []float64 // row-major: Cells[iy*Bins+ix]
+	total float64
+}
+
+// NewGrid2D creates a bins x bins grid over [0, side]^2.
+func NewGrid2D(side float64, bins int) (*Grid2D, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: bins must be positive, got %d", bins)
+	}
+	if side <= 0 {
+		return nil, fmt.Errorf("stats: side must be positive, got %v", side)
+	}
+	return &Grid2D{Side: side, Bins: bins, Cells: make([]float64, bins*bins)}, nil
+}
+
+// index maps a coordinate into a bin index, clamping boundary points inward.
+func (g *Grid2D) index(v float64) int {
+	i := int(float64(g.Bins) * v / g.Side)
+	if i < 0 {
+		i = 0
+	}
+	if i >= g.Bins {
+		i = g.Bins - 1
+	}
+	return i
+}
+
+// Add records a unit of mass at (x, y). Points outside the square are
+// clamped onto the nearest cell, since positions in the simulator never
+// legitimately leave the square by more than floating-point drift.
+func (g *Grid2D) Add(x, y float64) { g.AddWeighted(x, y, 1) }
+
+// AddWeighted records w units of mass at (x, y).
+func (g *Grid2D) AddWeighted(x, y, w float64) {
+	g.Cells[g.index(y)*g.Bins+g.index(x)] += w
+	g.total += w
+}
+
+// At returns the raw mass accumulated in cell (ix, iy).
+func (g *Grid2D) At(ix, iy int) float64 { return g.Cells[iy*g.Bins+ix] }
+
+// Total returns the total recorded mass.
+func (g *Grid2D) Total() float64 { return g.total }
+
+// Density returns the estimated probability density over cell (ix, iy):
+// mass share divided by cell area. It returns 0 when the grid is empty.
+func (g *Grid2D) Density(ix, iy int) float64 {
+	if g.total == 0 {
+		return 0
+	}
+	cellArea := (g.Side / float64(g.Bins)) * (g.Side / float64(g.Bins))
+	return g.At(ix, iy) / g.total / cellArea
+}
+
+// CellCenter returns the center coordinates of cell (ix, iy).
+func (g *Grid2D) CellCenter(ix, iy int) (x, y float64) {
+	w := g.Side / float64(g.Bins)
+	return (float64(ix) + 0.5) * w, (float64(iy) + 0.5) * w
+}
+
+// CompareDensity compares this grid's empirical density against a reference
+// density function evaluated at each cell center, returning the mean
+// absolute error, max absolute error, and total-variation-style L1 distance
+// (integral of |empirical - reference| over the square, in [0, 2]).
+func (g *Grid2D) CompareDensity(ref func(x, y float64) float64) (meanAbs, maxAbs, l1 float64) {
+	cellArea := (g.Side / float64(g.Bins)) * (g.Side / float64(g.Bins))
+	n := 0
+	for iy := 0; iy < g.Bins; iy++ {
+		for ix := 0; ix < g.Bins; ix++ {
+			cx, cy := g.CellCenter(ix, iy)
+			d := math.Abs(g.Density(ix, iy) - ref(cx, cy))
+			meanAbs += d
+			if d > maxAbs {
+				maxAbs = d
+			}
+			l1 += d * cellArea
+			n++
+		}
+	}
+	meanAbs /= float64(n)
+	return meanAbs, maxAbs, l1
+}

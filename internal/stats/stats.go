@@ -1,0 +1,250 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: summary statistics with confidence intervals, quantiles,
+// histograms, and least-squares fits (including log-log fits used to
+// estimate scaling exponents such as the R- and v-dependence of the
+// flooding time).
+//
+// Everything operates on plain float64 slices and is deterministic.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// ErrInsufficient is returned by fits that need at least two points.
+var ErrInsufficient = errors.New("stats: insufficient data")
+
+// Summary holds the usual moments of a sample together with a normal-theory
+// 95% confidence half-width for the mean.
+type Summary struct {
+	N      int
+	Mean   float64
+	Var    float64 // unbiased sample variance
+	Std    float64
+	Min    float64
+	Max    float64
+	CI95   float64 // 1.96 * Std / sqrt(N); zero when N < 2
+	Median float64
+	Q25    float64
+	Q75    float64
+}
+
+// Summarize computes a Summary of xs. It returns ErrEmpty for an empty
+// sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N >= 2 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Var = ss / float64(s.N-1)
+		s.Std = math.Sqrt(s.Var)
+		s.CI95 = 1.96 * s.Std / math.Sqrt(float64(s.N))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = quantileSorted(sorted, 0.5)
+	s.Q25 = quantileSorted(sorted, 0.25)
+	s.Q75 = quantileSorted(sorted, 0.75)
+	return s, nil
+}
+
+// String renders the summary in a compact one-line form.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.3g (std=%.3g, min=%.4g, med=%.4g, max=%.4g)",
+		s.N, s.Mean, s.CI95, s.Std, s.Min, s.Median, s.Max)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It returns ErrEmpty for an empty
+// sample and an error for q outside [0, 1].
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), nil
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Fit is the result of a least-squares line fit y = Intercept + Slope*x.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination
+}
+
+// LinearFit fits y = a + b*x by ordinary least squares. Inputs must have
+// equal length >= 2 and non-zero x variance.
+func LinearFit(x, y []float64) (Fit, error) {
+	if len(x) != len(y) {
+		return Fit{}, fmt.Errorf("stats: mismatched lengths %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return Fit{}, ErrInsufficient
+	}
+	n := float64(len(x))
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, errors.New("stats: zero x variance")
+	}
+	b := sxy / sxx
+	f := Fit{Slope: b, Intercept: my - b*mx}
+	if syy > 0 {
+		// R^2 = 1 - SSE/SST computed from the fitted residuals.
+		var sse float64
+		for i := range x {
+			r := y[i] - (f.Intercept + f.Slope*x[i])
+			sse += r * r
+		}
+		f.R2 = 1 - sse/syy
+	} else {
+		f.R2 = 1 // constant y is fit exactly
+	}
+	_ = n
+	return f, nil
+}
+
+// PowerLawFit fits y = C * x^alpha by least squares in log-log space and
+// returns (alpha, C). All inputs must be strictly positive.
+func PowerLawFit(x, y []float64) (alpha, c float64, err error) {
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	if len(x) != len(y) {
+		return 0, 0, fmt.Errorf("stats: mismatched lengths %d vs %d", len(x), len(y))
+	}
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			return 0, 0, fmt.Errorf("stats: power-law fit needs positive data, got (%v, %v)", x[i], y[i])
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	f, err := LinearFit(lx, ly)
+	if err != nil {
+		return 0, 0, err
+	}
+	return f.Slope, math.Exp(f.Intercept), nil
+}
+
+// AutoCorrelation returns the lag-k sample autocorrelation of xs,
+//
+//	rho(k) = sum_{t} (x_t - m)(x_{t+k} - m) / sum_t (x_t - m)^2
+//
+// It returns an error for k < 0, k >= len(xs), or a constant series.
+func AutoCorrelation(xs []float64, k int) (float64, error) {
+	if k < 0 || k >= len(xs) {
+		return 0, fmt.Errorf("stats: lag %d outside [0, %d)", k, len(xs))
+	}
+	m := Mean(xs)
+	var num, den float64
+	for t := 0; t+k < len(xs); t++ {
+		num += (xs[t] - m) * (xs[t+k] - m)
+	}
+	for _, x := range xs {
+		d := x - m
+		den += d * d
+	}
+	if den == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	return num / den, nil
+}
+
+// DecorrelationTime returns the smallest lag at which the autocorrelation
+// of xs drops below 1/e, or len(xs) if it never does within the series.
+func DecorrelationTime(xs []float64) int {
+	const threshold = 1 / math.E
+	for k := 1; k < len(xs); k++ {
+		rho, err := AutoCorrelation(xs, k)
+		if err != nil {
+			return len(xs)
+		}
+		if rho < threshold {
+			return k
+		}
+	}
+	return len(xs)
+}
+
+// Pearson returns the Pearson correlation coefficient of (x, y). It returns
+// an error on length mismatch, fewer than two points, or zero variance.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: mismatched lengths %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, ErrInsufficient
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, syy, sxy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}

@@ -1,0 +1,421 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 1 || s.Mean != 42 || s.Min != 42 || s.Max != 42 || s.Median != 42 {
+		t.Errorf("bad single summary: %+v", s)
+	}
+	if s.Std != 0 || s.CI95 != 0 {
+		t.Errorf("single-sample spread must be zero: %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	// Unbiased variance of this classic sample is 32/7.
+	if math.Abs(s.Var-32.0/7.0) > 1e-12 {
+		t.Errorf("Var = %v, want %v", s.Var, 32.0/7.0)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("range = [%v, %v], want [2, 9]", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("Median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s, _ := Summarize([]float64{1, 2, 3})
+	if got := s.String(); got == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Error("Mean wrong")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.125, 1.5},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatalf("q=%v: %v", tt.q, err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Error("want ErrEmpty")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("want range error")
+	}
+	if _, err := Quantile(xs, -0.1); err == nil {
+		t.Error("want range error")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 3 + 2x
+	f, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-3) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2 intercept 3", f)
+	}
+	if math.Abs(f.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", f.R2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("want mismatch error")
+	}
+	if _, err := LinearFit([]float64{1}, []float64{1}); !errors.Is(err, ErrInsufficient) {
+		t.Error("want ErrInsufficient")
+	}
+	if _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("want zero-variance error")
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	f, err := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Slope != 0 || f.Intercept != 4 || f.R2 != 1 {
+		t.Errorf("constant-y fit = %+v", f)
+	}
+}
+
+func TestPowerLawFit(t *testing.T) {
+	// y = 5 x^{-1.5}
+	x := []float64{1, 2, 4, 8, 16}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 5 * math.Pow(x[i], -1.5)
+	}
+	alpha, c, err := PowerLawFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alpha+1.5) > 1e-9 || math.Abs(c-5) > 1e-9 {
+		t.Errorf("alpha=%v c=%v, want -1.5, 5", alpha, c)
+	}
+}
+
+func TestPowerLawFitRejectsNonPositive(t *testing.T) {
+	if _, _, err := PowerLawFit([]float64{1, 0}, []float64{1, 1}); err == nil {
+		t.Error("want error for zero x")
+	}
+	if _, _, err := PowerLawFit([]float64{1, 2}, []float64{1, -1}); err == nil {
+		t.Error("want error for negative y")
+	}
+	if _, _, err := PowerLawFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("want mismatch error")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	yPos := []float64{2, 4, 6, 8, 10}
+	yNeg := []float64{10, 8, 6, 4, 2}
+	if r, err := Pearson(x, yPos); err != nil || math.Abs(r-1) > 1e-12 {
+		t.Errorf("r=%v err=%v, want 1", r, err)
+	}
+	if r, err := Pearson(x, yNeg); err != nil || math.Abs(r+1) > 1e-12 {
+		t.Errorf("r=%v err=%v, want -1", r, err)
+	}
+	if _, err := Pearson(x, []float64{1, 1, 1, 1, 1}); err == nil {
+		t.Error("want zero-variance error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); !errors.Is(err, ErrInsufficient) {
+		t.Error("want ErrInsufficient")
+	}
+	if _, err := Pearson(x, x[:2]); err == nil {
+		t.Error("want mismatch error")
+	}
+}
+
+func TestAutoCorrelation(t *testing.T) {
+	// Lag 0 is identically 1.
+	xs := []float64{1, 3, 2, 5, 4, 6, 5, 8}
+	if rho, err := AutoCorrelation(xs, 0); err != nil || math.Abs(rho-1) > 1e-12 {
+		t.Errorf("rho(0) = %v, err %v", rho, err)
+	}
+	// A strongly trending series keeps positive correlation at lag 1.
+	if rho, _ := AutoCorrelation(xs, 1); rho <= 0 {
+		t.Errorf("trending rho(1) = %v", rho)
+	}
+	// Alternating series is negatively correlated at lag 1.
+	alt := []float64{1, -1, 1, -1, 1, -1, 1, -1}
+	if rho, _ := AutoCorrelation(alt, 1); rho >= 0 {
+		t.Errorf("alternating rho(1) = %v", rho)
+	}
+	if _, err := AutoCorrelation(xs, -1); err == nil {
+		t.Error("want lag error")
+	}
+	if _, err := AutoCorrelation(xs, len(xs)); err == nil {
+		t.Error("want lag error")
+	}
+	if _, err := AutoCorrelation([]float64{2, 2, 2}, 1); err == nil {
+		t.Error("want zero-variance error")
+	}
+}
+
+func TestDecorrelationTime(t *testing.T) {
+	// White noise decorrelates immediately.
+	rng := rand.New(rand.NewPCG(5, 5))
+	noise := make([]float64, 2000)
+	for i := range noise {
+		noise[i] = rng.Float64()
+	}
+	if dt := DecorrelationTime(noise); dt > 3 {
+		t.Errorf("white-noise decorrelation time = %d", dt)
+	}
+	// An AR(1) with phi = 0.9 decorrelates around lag ~10 (1/ln(1/0.9)).
+	ar := make([]float64, 5000)
+	for i := 1; i < len(ar); i++ {
+		ar[i] = 0.9*ar[i-1] + rng.Float64() - 0.5
+	}
+	dt := DecorrelationTime(ar)
+	if dt < 4 || dt > 30 {
+		t.Errorf("AR(1) decorrelation time = %d, want ~10", dt)
+	}
+	// Constant series: error path inside returns the series length.
+	if dt := DecorrelationTime([]float64{1, 1, 1}); dt != 3 {
+		t.Errorf("constant series dt = %d", dt)
+	}
+}
+
+// Property: mean lies within [min, max] and variance is non-negative.
+func TestSummaryInvariantsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.Mean+1e-6 && s.Mean <= s.Max+1e-6 &&
+			s.Var >= 0 && s.Min <= s.Median && s.Median <= s.Max &&
+			s.Q25 <= s.Median+1e-12 && s.Median <= s.Q75+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("want bins error")
+	}
+	if _, err := NewHistogram(1, 1, 10); err == nil {
+		t.Error("want range error")
+	}
+	if _, err := NewHistogram(2, 1, 10); err == nil {
+		t.Error("want range error")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 11} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under=%d over=%d, want 1, 2", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Errorf("bin1 = %d, want 1", h.Counts[1])
+	}
+	if h.Counts[4] != 1 { // 9.99
+		t.Errorf("bin4 = %d, want 1", h.Counts[4])
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+	if h.BinWidth() != 2 {
+		t.Errorf("BinWidth = %v, want 2", h.BinWidth())
+	}
+	if h.BinCenter(0) != 1 {
+		t.Errorf("BinCenter(0) = %v, want 1", h.BinCenter(0))
+	}
+}
+
+func TestHistogramDensityIntegratesToOne(t *testing.T) {
+	h, err := NewHistogram(0, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 10000; i++ {
+		h.Add(rng.Float64())
+	}
+	var integral float64
+	for i := range h.Counts {
+		integral += h.Density(i) * h.BinWidth()
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Errorf("density integral = %v, want 1", integral)
+	}
+}
+
+func TestHistogramEmptyDensity(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 4)
+	if h.Density(0) != 0 {
+		t.Error("empty histogram density must be 0")
+	}
+}
+
+func TestNewGrid2DErrors(t *testing.T) {
+	if _, err := NewGrid2D(1, 0); err == nil {
+		t.Error("want bins error")
+	}
+	if _, err := NewGrid2D(0, 4); err == nil {
+		t.Error("want side error")
+	}
+}
+
+func TestGrid2DAccumulation(t *testing.T) {
+	g, err := NewGrid2D(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Add(1, 1)   // cell (0,0)
+	g.Add(9.5, 1) // cell (4,0)
+	g.Add(10, 10) // boundary clamps to (4,4)
+	g.Add(-1, -1) // clamps to (0,0)
+	g.AddWeighted(5, 5, 3)
+	if g.At(0, 0) != 2 {
+		t.Errorf("At(0,0) = %v, want 2", g.At(0, 0))
+	}
+	if g.At(4, 0) != 1 {
+		t.Errorf("At(4,0) = %v, want 1", g.At(4, 0))
+	}
+	if g.At(4, 4) != 1 {
+		t.Errorf("At(4,4) = %v, want 1", g.At(4, 4))
+	}
+	if g.At(2, 2) != 3 {
+		t.Errorf("At(2,2) = %v, want 3", g.At(2, 2))
+	}
+	if g.Total() != 7 {
+		t.Errorf("Total = %v, want 7", g.Total())
+	}
+}
+
+func TestGrid2DDensityIntegratesToOne(t *testing.T) {
+	g, _ := NewGrid2D(4, 8)
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 5000; i++ {
+		g.Add(4*rng.Float64(), 4*rng.Float64())
+	}
+	cellArea := 0.5 * 0.5
+	var integral float64
+	for iy := 0; iy < 8; iy++ {
+		for ix := 0; ix < 8; ix++ {
+			integral += g.Density(ix, iy) * cellArea
+		}
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Errorf("grid density integral = %v, want 1", integral)
+	}
+}
+
+func TestGrid2DCellCenter(t *testing.T) {
+	g, _ := NewGrid2D(10, 5)
+	x, y := g.CellCenter(0, 0)
+	if x != 1 || y != 1 {
+		t.Errorf("CellCenter(0,0) = (%v,%v), want (1,1)", x, y)
+	}
+	x, y = g.CellCenter(4, 2)
+	if x != 9 || y != 5 {
+		t.Errorf("CellCenter(4,2) = (%v,%v), want (9,5)", x, y)
+	}
+}
+
+func TestGrid2DCompareDensityUniform(t *testing.T) {
+	g, _ := NewGrid2D(2, 4)
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 200000; i++ {
+		g.Add(2*rng.Float64(), 2*rng.Float64())
+	}
+	uniform := func(x, y float64) float64 { return 0.25 } // 1/area
+	meanAbs, maxAbs, l1 := g.CompareDensity(uniform)
+	if meanAbs > 0.01 || maxAbs > 0.03 || l1 > 0.05 {
+		t.Errorf("uniform comparison too far off: mean=%v max=%v l1=%v", meanAbs, maxAbs, l1)
+	}
+	if g.Density(0, 0) <= 0 {
+		t.Error("density should be positive")
+	}
+}
+
+func TestGrid2DEmptyDensity(t *testing.T) {
+	g, _ := NewGrid2D(1, 2)
+	if g.Density(0, 0) != 0 {
+		t.Error("empty grid density must be 0")
+	}
+}

@@ -1,0 +1,198 @@
+// Package theory collects every closed-form quantity the paper states —
+// assumption checks (Inequalities 7-9), the Central Zone bound of Theorem
+// 10 and Corollary 12, the Suburb diameter S of Lemma 15, the main upper
+// bound of Theorem 3, the turn bound of Lemma 13, the lower bound of
+// Theorem 18, and the connectivity thresholds discussed in Section 1 —
+// so experiments can print "paper-predicted" columns next to measured
+// values.
+//
+// All logarithms are natural; the paper's asymptotic statements are
+// base-agnostic and its explicit constants (3/8, 200, 18, 590) are kept
+// verbatim where the paper fixes them.
+package theory
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sqrt5 appears throughout the paper's cell geometry.
+var sqrt5 = math.Sqrt(5)
+
+// Params is the network parameter triple (plus speed) every bound depends
+// on.
+type Params struct {
+	N int     // number of agents
+	L float64 // square side
+	R float64 // transmission radius
+	V float64 // agent speed
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.N < 2 {
+		return fmt.Errorf("theory: need n >= 2, got %d", p.N)
+	}
+	if p.L <= 0 || p.R <= 0 || p.V <= 0 ||
+		math.IsNaN(p.L+p.R+p.V) || math.IsInf(p.L+p.R+p.V, 0) {
+		return fmt.Errorf("theory: L, R, V must be positive and finite (L=%v R=%v V=%v)", p.L, p.R, p.V)
+	}
+	return nil
+}
+
+func (p Params) logN() float64 { return math.Log(float64(p.N)) }
+
+// CellSide returns the cell side l = L/m with m = ceil(sqrt5 L/R),
+// matching internal/cells.
+func (p Params) CellSide() float64 {
+	m := math.Ceil(sqrt5 * p.L / p.R)
+	if m < 1 {
+		m = 1
+	}
+	return p.L / m
+}
+
+// RadiusAssumptionOK reports the paper's Inequality 7 with its verbatim
+// constant: R >= 200 L sqrt(log n / n). The constant is not optimized (the
+// paper says so); RadiusAssumptionScale returns the dimensionless ratio
+// R / (L sqrt(log n / n)) so experiments can report how far into (or out
+// of) the asymptotic regime they operate.
+func (p Params) RadiusAssumptionOK() bool {
+	return p.R >= 200*p.L*math.Sqrt(p.logN()/float64(p.N))
+}
+
+// RadiusAssumptionScale returns R / (L sqrt(log n / n)).
+func (p Params) RadiusAssumptionScale() float64 {
+	return p.R / (p.L * math.Sqrt(p.logN()/float64(p.N)))
+}
+
+// SpeedAssumptionOK reports the paper's Inequality 8:
+// v <= R / (3 (1 + sqrt5)).
+func (p Params) SpeedAssumptionOK() bool {
+	return p.V <= p.R/(3*(1+sqrt5))
+}
+
+// SpeedBound returns the Inequality 8 cap R / (3(1+sqrt5)) ~ R/9.708.
+func (p Params) SpeedBound() float64 { return p.R / (3 * (1 + sqrt5)) }
+
+// LargeRThreshold returns Corollary 12's radius
+// (1+sqrt5)/2 * L * (3 log n / n)^(1/3): above it every cell is in the
+// Central Zone (the Suburb is empty) and flooding completes within
+// 18 L / R steps.
+func (p Params) LargeRThreshold() float64 {
+	return (1 + sqrt5) / 2 * p.L * math.Cbrt(3*p.logN()/float64(p.N))
+}
+
+// SuburbEmpty reports whether R exceeds the Corollary 12 threshold.
+func (p Params) SuburbEmpty() bool { return p.R >= p.LargeRThreshold() }
+
+// CentralZoneTimeBound returns Theorem 10's bound on the time to inform
+// every Central Zone cell: 18 L / R.
+func (p Params) CentralZoneTimeBound() float64 { return 18 * p.L / p.R }
+
+// SuburbDiameterS returns Lemma 15's S = 3 L^3 log n / (2 l^2 n) computed
+// with the actual cell side.
+func (p Params) SuburbDiameterS() float64 {
+	l := p.CellSide()
+	return 3 * p.L * p.L * p.L * p.logN() / (2 * l * l * float64(p.N))
+}
+
+// SuburbPhaseBound returns the Lemma 16 time budget for the Suburb phase
+// with the paper's explicit constant: tau = 590 S / v (plus lower-order
+// terms the proof adds, which we omit as they are dominated by tau).
+func (p Params) SuburbPhaseBound() float64 {
+	return 590 * p.SuburbDiameterS() / p.V
+}
+
+// FloodingUpperBound returns the Theorem 3 shape
+//
+//	T = a * L/R + b * (L/v)(L^2/R^2)(log n / n)
+//
+// with unit constants a = b = 1 (UpperBoundWithConstants exposes them).
+// The theorem is asymptotic; experiments fit a and b and check stability.
+func (p Params) FloodingUpperBound() float64 {
+	return p.UpperBoundWithConstants(1, 1)
+}
+
+// UpperBoundWithConstants evaluates a*L/R + b*(L/v)(L^2/R^2)(log n/n).
+func (p Params) UpperBoundWithConstants(a, b float64) float64 {
+	first := p.L / p.R
+	second := (p.L / p.V) * (p.L * p.L / (p.R * p.R)) * (p.logN() / float64(p.N))
+	return a*first + b*second
+}
+
+// SecondPhaseTerm returns the Suburb term (L/v)(L^2/R^2)(log n / n) alone.
+func (p Params) SecondPhaseTerm() float64 {
+	return (p.L / p.V) * (p.L * p.L / (p.R * p.R)) * (p.logN() / float64(p.N))
+}
+
+// FirstPhaseTerm returns the Central Zone term L/R alone.
+func (p Params) FirstPhaseTerm() float64 { return p.L / p.R }
+
+// DiameterLowerBound returns the trivial flooding-time lower bound implied
+// by the speed assumption: information must traverse the square, so
+// T = Omega(L/R) (each step extends the informed region by at most R + v
+// <= 2R).
+func (p Params) DiameterLowerBound() float64 {
+	return p.L / (p.R + p.V)
+}
+
+// Theorem18Applicable reports the lower bound's hypothesis R = O(L/n^(1/3))
+// with unit constant: R <= L / n^(1/3).
+func (p Params) Theorem18Applicable() bool {
+	return p.R <= p.L/math.Cbrt(float64(p.N))
+}
+
+// Theorem18LowerBound returns the Omega(L / (v n^(1/3))) bound (unit
+// constant). With constant probability an agent in a corner pocket stays
+// unreachable for this long.
+func (p Params) Theorem18LowerBound() float64 {
+	return p.L / (p.V * math.Cbrt(float64(p.N)))
+}
+
+// TurnBound returns Lemma 13's high-probability bound on the number of
+// turns an agent performs in a window of tau time units:
+//
+//	H <= 4 log n / log(L / (v tau))
+//
+// valid for L/(nv) <= tau <= L/(4v). An error is returned outside that
+// window.
+func (p Params) TurnBound(tau float64) (float64, error) {
+	if tau < p.L/(float64(p.N)*p.V)-1e-12 || tau > p.L/(4*p.V)+1e-12 {
+		return 0, fmt.Errorf("theory: tau=%v outside Lemma 13 window [%v, %v]",
+			tau, p.L/(float64(p.N)*p.V), p.L/(4*p.V))
+	}
+	den := math.Log(p.L / (p.V * tau))
+	if den <= 0 {
+		return 0, fmt.Errorf("theory: degenerate window, v*tau >= L")
+	}
+	return 4 * p.logN() / den, nil
+}
+
+// GoodSegmentLength returns Lemma 14's guaranteed straight-segment length
+// toward the Central Zone within a window of tau time units:
+//
+//	d = v tau log(L/(v tau)) / (40 log n)
+func (p Params) GoodSegmentLength(tau float64) float64 {
+	return p.V * tau * math.Log(p.L/(p.V*tau)) / (40 * p.logN())
+}
+
+// UniformConnectivityThreshold returns the classic Theta(sqrt(log n))
+// connectivity radius (unit constant) of a uniform n-point process on a
+// sqrt(n) x sqrt(n) square (Gupta-Kumar / Penrose), rescaled to side L:
+// L * sqrt(log n / (pi n)).
+func UniformConnectivityThreshold(n int, l float64) float64 {
+	return l * math.Sqrt(math.Log(float64(n))/(math.Pi*float64(n)))
+}
+
+// MRWPConnectivityThreshold returns the scale of the MRWP stationary
+// graph's connectivity radius, L / n^(1/3) (unit constant): a d x d corner
+// pocket carries stationary mass ~ 3 (d/L)^3 (Observation 5), so pockets of
+// side d ~ L/n^(1/3) are empty with constant probability and the nearest
+// neighbor of a corner agent sits that far away. With the standard
+// L = sqrt(n) this is n^(1/6) — "some root of n", exponentially above the
+// uniform threshold sqrt(log n), as the paper's Section 1 remarks citing
+// [13].
+func MRWPConnectivityThreshold(n int, l float64) float64 {
+	return l / math.Cbrt(float64(n))
+}

@@ -1,0 +1,210 @@
+package theory
+
+import (
+	"math"
+	"testing"
+)
+
+func params() Params { return Params{N: 10000, L: 100, R: 5, V: 0.5} }
+
+func TestParamsValidate(t *testing.T) {
+	if err := params().Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{N: 1, L: 100, R: 5, V: 0.5},
+		{N: 100, L: 0, R: 5, V: 0.5},
+		{N: 100, L: 100, R: -5, V: 0.5},
+		{N: 100, L: 100, R: 5, V: math.NaN()},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestCellSideMatchesCellsPackage(t *testing.T) {
+	p := params()
+	l := p.CellSide()
+	// Same construction as internal/cells: l = L/ceil(sqrt5 L/R).
+	m := math.Ceil(math.Sqrt(5) * p.L / p.R)
+	if want := p.L / m; l != want {
+		t.Errorf("CellSide = %v, want %v", l, want)
+	}
+	if l > p.R/math.Sqrt(5)+1e-12 {
+		t.Error("cell side violates Ineq. 6 upper half")
+	}
+}
+
+func TestRadiusAssumption(t *testing.T) {
+	p := params()
+	// 200 * 100 * sqrt(ln 1e4 / 1e4) ~ 200 * 100 * 0.0303 ~ 607 >> 5.
+	if p.RadiusAssumptionOK() {
+		t.Error("R=5 cannot satisfy the paper's 200x constant")
+	}
+	scale := p.RadiusAssumptionScale()
+	if scale <= 0 {
+		t.Errorf("scale = %v", scale)
+	}
+	// Consistency: OK iff scale >= 200.
+	big := p
+	big.R = 700
+	if !big.RadiusAssumptionOK() || big.RadiusAssumptionScale() < 200 {
+		t.Error("large-R case inconsistent")
+	}
+}
+
+func TestSpeedAssumption(t *testing.T) {
+	p := params()
+	if !p.SpeedAssumptionOK() {
+		t.Errorf("v=0.5 <= bound %v must pass", p.SpeedBound())
+	}
+	fast := p
+	fast.V = 1
+	if fast.SpeedAssumptionOK() {
+		t.Errorf("v=1 > bound %v must fail", fast.SpeedBound())
+	}
+	if want := p.R / (3 * (1 + math.Sqrt(5))); p.SpeedBound() != want {
+		t.Errorf("SpeedBound = %v, want %v", p.SpeedBound(), want)
+	}
+}
+
+func TestLargeRThreshold(t *testing.T) {
+	p := params()
+	want := (1 + math.Sqrt(5)) / 2 * 100 * math.Cbrt(3*math.Log(10000)/10000)
+	if got := p.LargeRThreshold(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("LargeRThreshold = %v, want %v", got, want)
+	}
+	if p.SuburbEmpty() {
+		t.Error("R=5 below threshold must leave a Suburb")
+	}
+	big := p
+	big.R = p.LargeRThreshold() + 1
+	if !big.SuburbEmpty() {
+		t.Error("above-threshold R must empty the Suburb")
+	}
+}
+
+func TestCentralZoneTimeBound(t *testing.T) {
+	p := params()
+	if got := p.CentralZoneTimeBound(); got != 18*100/5.0 {
+		t.Errorf("CZ bound = %v, want 360", got)
+	}
+}
+
+func TestSuburbDiameterSAndPhase(t *testing.T) {
+	p := params()
+	l := p.CellSide()
+	want := 3 * 100.0 * 100 * 100 * math.Log(10000) / (2 * l * l * 10000)
+	if got := p.SuburbDiameterS(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("S = %v, want %v", got, want)
+	}
+	if got := p.SuburbPhaseBound(); math.Abs(got-590*want/0.5) > 1e-6 {
+		t.Errorf("phase bound = %v", got)
+	}
+}
+
+func TestUpperBoundDecomposition(t *testing.T) {
+	p := params()
+	if got := p.FloodingUpperBound(); math.Abs(got-(p.FirstPhaseTerm()+p.SecondPhaseTerm())) > 1e-12 {
+		t.Error("bound must equal the sum of its two phases")
+	}
+	if got := p.UpperBoundWithConstants(2, 3); math.Abs(got-(2*p.FirstPhaseTerm()+3*p.SecondPhaseTerm())) > 1e-12 {
+		t.Error("constants not applied")
+	}
+	// Monotonicity: larger R decreases both terms; smaller v increases only
+	// the second.
+	bigR := p
+	bigR.R = 10
+	if bigR.FloodingUpperBound() >= p.FloodingUpperBound() {
+		t.Error("bound must decrease in R")
+	}
+	slow := p
+	slow.V = 0.05
+	if slow.FirstPhaseTerm() != p.FirstPhaseTerm() {
+		t.Error("first phase must not depend on v")
+	}
+	if slow.SecondPhaseTerm() <= p.SecondPhaseTerm() {
+		t.Error("second phase must increase as v decreases")
+	}
+}
+
+func TestDiameterLowerBound(t *testing.T) {
+	p := params()
+	if got := p.DiameterLowerBound(); math.Abs(got-100/5.5) > 1e-12 {
+		t.Errorf("diameter LB = %v", got)
+	}
+}
+
+func TestTheorem18(t *testing.T) {
+	p := params() // R=5, L/n^{1/3} = 100/21.5 ~ 4.64: not applicable
+	if p.Theorem18Applicable() {
+		t.Error("R=5 slightly above L/n^(1/3) must not apply")
+	}
+	small := p
+	small.R = 4
+	if !small.Theorem18Applicable() {
+		t.Error("R=4 must apply")
+	}
+	want := 100 / (0.5 * math.Cbrt(10000))
+	if got := small.Theorem18LowerBound(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Thm18 LB = %v, want %v", got, want)
+	}
+}
+
+func TestTurnBound(t *testing.T) {
+	p := params()
+	// Window: [L/(nv), L/(4v)] = [0.02, 50].
+	if _, err := p.TurnBound(0.001); err == nil {
+		t.Error("tau below window must error")
+	}
+	if _, err := p.TurnBound(100); err == nil {
+		t.Error("tau above window must error")
+	}
+	got, err := p.TurnBound(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * math.Log(10000) / math.Log(100/(0.5*10))
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("TurnBound = %v, want %v", got, want)
+	}
+	// At tau = L/(4v) the bound is largest; shrinking tau shrinks it.
+	smaller, _ := p.TurnBound(1)
+	if smaller >= got {
+		t.Error("turn bound must grow with tau")
+	}
+}
+
+func TestGoodSegmentLength(t *testing.T) {
+	p := params()
+	tau := 10.0
+	want := 0.5 * tau * math.Log(100/(0.5*tau)) / (40 * math.Log(10000))
+	if got := p.GoodSegmentLength(tau); math.Abs(got-want) > 1e-12 {
+		t.Errorf("GoodSegmentLength = %v, want %v", got, want)
+	}
+}
+
+func TestConnectivityThresholds(t *testing.T) {
+	// At L = sqrt(n) the uniform threshold is Theta(sqrt(log n)) while the
+	// MRWP threshold is Theta(n^(1/6)) — the gap the paper highlights.
+	n := 1 << 20
+	l := math.Sqrt(float64(n))
+	uni := UniformConnectivityThreshold(n, l)
+	mrwp := MRWPConnectivityThreshold(n, l)
+	if uni <= 0 || mrwp <= 0 {
+		t.Fatal("thresholds must be positive")
+	}
+	if mrwp < 3*uni {
+		t.Errorf("MRWP threshold %v not clearly above uniform %v", mrwp, uni)
+	}
+	// Exact scaling check.
+	if math.Abs(mrwp-math.Pow(float64(n), 1.0/6)) > 1e-6 {
+		t.Errorf("MRWP threshold at L=sqrt(n) = %v, want n^(1/6) = %v",
+			mrwp, math.Pow(float64(n), 1.0/6))
+	}
+	if math.Abs(uni-l*math.Sqrt(math.Log(float64(n))/(math.Pi*float64(n)))) > 1e-9 {
+		t.Error("uniform threshold formula wrong")
+	}
+}

@@ -1,0 +1,260 @@
+// Package trace renders experiment output: aligned text tables, TSV/CSV
+// files, ASCII heat maps, and binary-free PGM images — enough to
+// regenerate the paper's Figure 1 and every experiment table without any
+// external plotting dependency.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-oriented results table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row, converting each value with %v (floats with %.4g).
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n", t.Title)
+	}
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+	}
+	b.WriteByte('\n')
+	for i := range t.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		b.WriteString("  ")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		return fmt.Sprintf("trace: render failed: %v", err)
+	}
+	return b.String()
+}
+
+// WriteCSV writes the table (headers + rows) in CSV form.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return fmt.Errorf("trace: writing csv header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flushing csv: %w", err)
+	}
+	return nil
+}
+
+// WriteTSV writes the table tab-separated (the format consumed by gnuplot
+// and spreadsheet imports).
+func (t *Table) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Columns, "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// asciiShades orders characters from empty to full for heat maps.
+const asciiShades = " .:-=+*#%@"
+
+// ASCIIHeatmap renders a row-major field (rows[y][x], y increasing upward)
+// as an ASCII shade image, normalizing to the field's maximum. It returns
+// an empty string for an empty field.
+func ASCIIHeatmap(field [][]float64) string {
+	if len(field) == 0 {
+		return ""
+	}
+	var max float64
+	for _, row := range field {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	var b strings.Builder
+	// Render top row (largest y) first so the origin is bottom-left.
+	for y := len(field) - 1; y >= 0; y-- {
+		for _, v := range field[y] {
+			idx := 0
+			if max > 0 {
+				idx = int(v / max * float64(len(asciiShades)-1))
+				if idx < 0 {
+					idx = 0
+				}
+				if idx >= len(asciiShades) {
+					idx = len(asciiShades) - 1
+				}
+			}
+			b.WriteByte(asciiShades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// sparkBars orders the eight block characters used by Sparkline.
+var sparkBars = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a numeric series as a single line of block characters,
+// normalized to the series' range. Series longer than width are
+// downsampled by taking the maximum of each bucket (so spikes survive).
+// It returns an empty string for an empty series or non-positive width.
+func Sparkline(series []float64, width int) string {
+	if len(series) == 0 || width <= 0 {
+		return ""
+	}
+	if width > len(series) {
+		width = len(series)
+	}
+	// Bucket by max.
+	buckets := make([]float64, width)
+	for i := range buckets {
+		lo := i * len(series) / width
+		hi := (i + 1) * len(series) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		m := series[lo]
+		for _, v := range series[lo:hi] {
+			if v > m {
+				m = v
+			}
+		}
+		buckets[i] = m
+	}
+	min, max := buckets[0], buckets[0]
+	for _, v := range buckets {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]rune, width)
+	for i, v := range buckets {
+		idx := 0
+		if max > min {
+			idx = int((v - min) / (max - min) * float64(len(sparkBars)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkBars) {
+			idx = len(sparkBars) - 1
+		}
+		out[i] = sparkBars[idx]
+	}
+	return string(out)
+}
+
+// WritePGM writes the field as a plain-text PGM (P2) grayscale image,
+// normalized to the maximum value, origin at the bottom-left (PGM rows run
+// top-down, so the field is flipped). Any standard image viewer opens it.
+func WritePGM(w io.Writer, field [][]float64) error {
+	if len(field) == 0 || len(field[0]) == 0 {
+		return fmt.Errorf("trace: empty field")
+	}
+	h, wd := len(field), len(field[0])
+	var max float64
+	for _, row := range field {
+		if len(row) != wd {
+			return fmt.Errorf("trace: ragged field")
+		}
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("trace: non-finite value %v", v)
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "P2\n%d %d\n255\n", wd, h); err != nil {
+		return err
+	}
+	for y := h - 1; y >= 0; y-- {
+		for x := 0; x < wd; x++ {
+			level := 0
+			if max > 0 {
+				level = int(field[y][x] / max * 255)
+			}
+			sep := " "
+			if x == wd-1 {
+				sep = "\n"
+			}
+			if _, err := fmt.Fprintf(w, "%d%s", level, sep); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

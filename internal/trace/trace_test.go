@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1.23456789)
+	tb.AddRow("b", 42)
+	out := tb.String()
+	if !strings.Contains(out, "## demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.235") {
+		t.Errorf("missing formatted cells:\n%s", out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Error("missing int cell")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows -> 5? title+header+rule+2 = 5
+		// Recount: title, header, separator, alpha-row, b-row = 5 lines.
+		if len(lines) != 5 {
+			t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow(1)
+	if strings.Contains(tb.String(), "##") {
+		t.Error("empty title must not render")
+	}
+}
+
+func TestTableFloat32(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(float32(2.5))
+	if !strings.Contains(tb.String(), "2.5") {
+		t.Error("float32 formatting wrong")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", 1) // comma must be quoted
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("csv header wrong: %q", out)
+	}
+	if !strings.Contains(out, `"x,y"`) {
+		t.Errorf("comma not quoted: %q", out)
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow(1, 2)
+	var b strings.Builder
+	if err := tb.WriteTSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a\tb\n1\t2\n"
+	if b.String() != want {
+		t.Errorf("tsv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestASCIIHeatmap(t *testing.T) {
+	field := [][]float64{
+		{0, 0.5}, // bottom row
+		{1, 0},   // top row
+	}
+	out := ASCIIHeatmap(field)
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Top line is field[1]: max value '@' then blank.
+	if lines[0][0] != '@' || lines[0][1] != ' ' {
+		t.Errorf("top line = %q", lines[0])
+	}
+	if lines[1][0] != ' ' {
+		t.Errorf("bottom-left must be blank, got %q", lines[1])
+	}
+	if ASCIIHeatmap(nil) != "" {
+		t.Error("empty field must render empty")
+	}
+	// All-zero field renders all blanks without dividing by zero.
+	zero := ASCIIHeatmap([][]float64{{0, 0}})
+	if strings.TrimSuffix(zero, "\n") != "  " {
+		t.Errorf("zero field = %q", zero)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty series must render empty")
+	}
+	if Sparkline([]float64{1}, 0) != "" {
+		t.Error("zero width must render empty")
+	}
+	// Monotone series: first rune lowest, last highest.
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	runes := []rune(s)
+	if len(runes) != 8 {
+		t.Fatalf("len = %d", len(runes))
+	}
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("monotone sparkline = %q", s)
+	}
+	// Constant series renders at the floor without dividing by zero.
+	c := []rune(Sparkline([]float64{5, 5, 5}, 3))
+	for _, r := range c {
+		if r != '▁' {
+			t.Errorf("constant sparkline rune %q", r)
+		}
+	}
+	// Downsampling keeps spikes (bucket max).
+	long := make([]float64, 100)
+	long[50] = 10
+	d := []rune(Sparkline(long, 10))
+	found := false
+	for _, r := range d {
+		if r == '█' {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("spike lost in downsampling")
+	}
+	// Width above series length clamps.
+	if got := Sparkline([]float64{1, 2}, 50); len([]rune(got)) != 2 {
+		t.Errorf("clamped width = %d", len([]rune(got)))
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	field := [][]float64{
+		{0, 2},
+		{1, 4},
+	}
+	var b strings.Builder
+	if err := WritePGM(&b, field); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "P2\n2 2\n255\n") {
+		t.Errorf("pgm header wrong: %q", out)
+	}
+	// Top row written first = field[1] = {1, 4} -> 63, 255.
+	body := strings.TrimPrefix(out, "P2\n2 2\n255\n")
+	if !strings.HasPrefix(body, "63 255\n") {
+		t.Errorf("pgm body = %q", body)
+	}
+	if !strings.Contains(body, "0 127\n") {
+		t.Errorf("pgm bottom row wrong: %q", body)
+	}
+}
+
+func TestWritePGMErrors(t *testing.T) {
+	var b strings.Builder
+	if err := WritePGM(&b, nil); err == nil {
+		t.Error("want empty-field error")
+	}
+	if err := WritePGM(&b, [][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("want ragged error")
+	}
+	if err := WritePGM(&b, [][]float64{{math.NaN()}}); err == nil {
+		t.Error("want NaN error")
+	}
+	if err := WritePGM(&b, [][]float64{{math.Inf(1)}}); err == nil {
+		t.Error("want Inf error")
+	}
+}

@@ -1,0 +1,171 @@
+package manhattan
+
+import (
+	"fmt"
+
+	"manhattanflood/internal/core"
+)
+
+// TreeResult reports an infection-tree-instrumented flooding run: the
+// propagation skeleton's depth and its split between relay hops (one step
+// per edge, the Central Zone's mode) and courier legs (an agent carries
+// the message for several steps, the Suburb's mode).
+type TreeResult struct {
+	Completed bool
+	Time      int
+	// MaxDepth / MeanDepth are hop distances from the source in the
+	// infection tree.
+	MaxDepth  int
+	MeanDepth float64
+	// CourierEdges counts tree edges whose parent-to-child delay exceeds
+	// one step; CourierFraction is their share; MaxCourierDelay is the
+	// longest single carry.
+	CourierEdges    int
+	CourierFraction float64
+	MaxCourierDelay int
+	Source          int
+}
+
+// FloodTree runs flooding instrumented with the infection tree and returns
+// its geometry. Like Flood, it advances the simulation.
+func (s *Simulation) FloodTree(opts FloodOptions) (TreeResult, error) {
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 100000
+	}
+	source := opts.SourceAgent
+	if source <= 0 {
+		central, corner := core.SourcePair(s.w)
+		switch opts.Source {
+		case SourceCorner:
+			source = corner
+		case SourceRandom:
+			source = 0
+		default:
+			source = central
+		}
+	}
+	f, err := core.NewTreeFlooding(s.w, source)
+	if err != nil {
+		return TreeResult{}, fmt.Errorf("manhattan: %w", err)
+	}
+	time, ok := f.Run(maxSteps)
+	st := f.Stats()
+	return TreeResult{
+		Completed:       ok,
+		Time:            time,
+		MaxDepth:        st.MaxDepth,
+		MeanDepth:       st.MeanDepth,
+		CourierEdges:    st.CourierEdges,
+		CourierFraction: st.CourierFraction,
+		MaxCourierDelay: st.MaxEdgeDelay,
+		Source:          source,
+	}, nil
+}
+
+// Protocol selects a dissemination protocol variant.
+type Protocol uint8
+
+// Protocol variants.
+const (
+	// Flooding is the paper's protocol: every informed agent transmits
+	// every step.
+	Flooding Protocol = iota
+	// Parsimonious transmits with probability P per informed agent per
+	// step (Baumann–Crescenzi–Fraigniaud style).
+	Parsimonious
+	// Gossip forwards to at most K uniformly chosen neighbors per step.
+	Gossip
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case Flooding:
+		return "flooding"
+	case Parsimonious:
+		return "parsimonious"
+	case Gossip:
+		return "gossip"
+	default:
+		return fmt.Sprintf("Protocol(%d)", uint8(p))
+	}
+}
+
+// ProtocolOptions configures RunProtocol.
+type ProtocolOptions struct {
+	Protocol Protocol
+	// P is the forwarding probability for Parsimonious (default 0.5).
+	P float64
+	// K is the fan-out for Gossip (default 1).
+	K int
+	// Source and MaxSteps as in FloodOptions.
+	Source   Source
+	MaxSteps int
+}
+
+// ProtocolResult reports a protocol-variant run.
+type ProtocolResult struct {
+	Completed bool
+	Time      int
+	Informed  int
+	// Transmissions is filled for Parsimonious (agent-transmission count).
+	Transmissions int64
+}
+
+// RunProtocol runs a dissemination-protocol variant over the simulation.
+func (s *Simulation) RunProtocol(opts ProtocolOptions) (ProtocolResult, error) {
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 100000
+	}
+	central, corner := core.SourcePair(s.w)
+	source := central
+	switch opts.Source {
+	case SourceCorner:
+		source = corner
+	case SourceRandom:
+		source = 0
+	}
+	switch opts.Protocol {
+	case Flooding:
+		f, err := core.NewFlooding(s.w, source)
+		if err != nil {
+			return ProtocolResult{}, fmt.Errorf("manhattan: %w", err)
+		}
+		res, err := f.Run(maxSteps)
+		if err != nil {
+			return ProtocolResult{}, fmt.Errorf("manhattan: %w", err)
+		}
+		return ProtocolResult{Completed: res.Completed, Time: res.Time, Informed: res.Informed}, nil
+	case Parsimonious:
+		p := opts.P
+		if p == 0 {
+			p = 0.5
+		}
+		f, err := core.NewParsimoniousFlooding(s.w, source, p, s.cfg.Seed^0xbeef)
+		if err != nil {
+			return ProtocolResult{}, fmt.Errorf("manhattan: %w", err)
+		}
+		time, ok := f.Run(maxSteps)
+		return ProtocolResult{
+			Completed:     ok,
+			Time:          time,
+			Informed:      f.InformedCount(),
+			Transmissions: f.Transmissions(),
+		}, nil
+	case Gossip:
+		k := opts.K
+		if k == 0 {
+			k = 1
+		}
+		g, err := core.NewKGossip(s.w, source, k, s.cfg.Seed^0xfeed)
+		if err != nil {
+			return ProtocolResult{}, fmt.Errorf("manhattan: %w", err)
+		}
+		time, ok := g.Run(maxSteps)
+		return ProtocolResult{Completed: ok, Time: time, Informed: g.InformedCount()}, nil
+	default:
+		return ProtocolResult{}, fmt.Errorf("manhattan: unknown protocol %v", opts.Protocol)
+	}
+}

@@ -1,0 +1,112 @@
+package manhattan
+
+import "testing"
+
+func TestFloodTree(t *testing.T) {
+	s, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.FloodTree(FloodOptions{Source: SourceCenter, MaxSteps: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("tree flood incomplete: %+v", res)
+	}
+	if res.MaxDepth <= 0 || res.MeanDepth <= 0 {
+		t.Errorf("depths = %d / %v", res.MaxDepth, res.MeanDepth)
+	}
+	if res.MeanDepth > float64(res.MaxDepth) {
+		t.Error("mean depth above max depth")
+	}
+	if res.CourierFraction < 0 || res.CourierFraction > 1 {
+		t.Errorf("courier fraction = %v", res.CourierFraction)
+	}
+	if res.Time < res.MaxDepth {
+		t.Errorf("flooding time %d below tree depth %d", res.Time, res.MaxDepth)
+	}
+}
+
+func TestProtocolStrings(t *testing.T) {
+	if Flooding.String() != "flooding" || Parsimonious.String() != "parsimonious" ||
+		Gossip.String() != "gossip" {
+		t.Error("protocol strings wrong")
+	}
+	if Protocol(9).String() != "Protocol(9)" {
+		t.Error("unknown protocol string wrong")
+	}
+}
+
+func TestRunProtocolFlooding(t *testing.T) {
+	s, _ := New(validConfig())
+	res, err := s.RunProtocol(ProtocolOptions{Protocol: Flooding, MaxSteps: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Informed != 800 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestRunProtocolParsimonious(t *testing.T) {
+	s, _ := New(validConfig())
+	res, err := s.RunProtocol(ProtocolOptions{Protocol: Parsimonious, P: 0.3, MaxSteps: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("parsimonious incomplete: %+v", res)
+	}
+	if res.Transmissions <= 0 {
+		t.Error("no transmissions counted")
+	}
+	// Default P applies when zero.
+	s2, _ := New(validConfig())
+	if _, err := s2.RunProtocol(ProtocolOptions{Protocol: Parsimonious, MaxSteps: 100000}); err != nil {
+		t.Errorf("default P: %v", err)
+	}
+}
+
+func TestRunProtocolGossip(t *testing.T) {
+	s, _ := New(validConfig())
+	res, err := s.RunProtocol(ProtocolOptions{Protocol: Gossip, K: 2, MaxSteps: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("gossip incomplete: %+v", res)
+	}
+}
+
+func TestRunProtocolErrors(t *testing.T) {
+	s, _ := New(validConfig())
+	if _, err := s.RunProtocol(ProtocolOptions{Protocol: Protocol(9)}); err == nil {
+		t.Error("want unknown-protocol error")
+	}
+	if _, err := s.RunProtocol(ProtocolOptions{Protocol: Parsimonious, P: 2}); err == nil {
+		t.Error("want probability error")
+	}
+	if _, err := s.RunProtocol(ProtocolOptions{Protocol: Gossip, K: -1}); err == nil {
+		t.Error("want fan-out error")
+	}
+}
+
+func TestProtocolsComparable(t *testing.T) {
+	// Flooding is at least as fast as any restricted variant on identically
+	// seeded worlds.
+	cfg := validConfig()
+	s1, _ := New(cfg)
+	s2, _ := New(cfg)
+	flood, err := s1.RunProtocol(ProtocolOptions{Protocol: Flooding, MaxSteps: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gossip, err := s2.RunProtocol(ProtocolOptions{Protocol: Gossip, K: 1, MaxSteps: 300000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gossip.Completed && flood.Completed && gossip.Time < flood.Time {
+		t.Errorf("k=1 gossip (%d) beat flooding (%d)", gossip.Time, flood.Time)
+	}
+}
