@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test bench bench-json clean
+
+# ci is the tier-1 gate: formatting, static checks, build, tests, and the
+# short hot-loop benchmark suite.
+ci: fmt vet build test bench
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# bench runs the micro-benchmarks briefly — a smoke test that the hot loops
+# still run allocation-free, not a measurement.
+bench:
+	$(GO) test -run '^$$' -bench 'WorldStep10k|FloodStep4k$$|IndexRebuild10k|IndexNeighbors10k' -benchtime 100x -benchmem .
+
+# bench-json regenerates the committed benchmark trajectory file.
+bench-json:
+	$(GO) run ./cmd/bench -out BENCH_1.json
+
+clean:
+	$(GO) clean ./...

@@ -7,9 +7,15 @@ package manhattan
 // runs the full-size versions and prints the paper-vs-measured tables.
 
 import (
+	"math"
+	"math/rand/v2"
 	"testing"
 
+	"manhattanflood/internal/core"
 	"manhattanflood/internal/experiments"
+	"manhattanflood/internal/geom"
+	"manhattanflood/internal/sim"
+	"manhattanflood/internal/spatialindex"
 )
 
 func benchCfg(i int) experiments.Config {
@@ -176,40 +182,69 @@ func BenchmarkE18SnapshotDependence(b *testing.B) {
 // BenchmarkWorldStep10k measures one lockstep move + index rebuild for
 // 10000 MRWP agents.
 func BenchmarkWorldStep10k(b *testing.B) {
-	s, err := New(StandardConfig(10000, 4, 0.3, 1))
+	w, err := sim.NewWorld(sim.Params{N: 10000, L: 100, R: 4, V: 0.3, Seed: 1}, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Step()
+		w.Step()
+	}
+}
+
+// floodStepBench measures one steady-state flooding step (move +
+// transmission round) at n agents: a single Flooding is stepped
+// repeatedly, and the (untimed) flood restart when it completes keeps
+// every timed iteration a live transmission round.
+func floodStepBench(b *testing.B, n int, chaining bool) {
+	b.Helper()
+	l := math.Sqrt(float64(n))
+	newFlood := func(seed uint64) *core.Flooding {
+		w, err := sim.NewWorld(sim.Params{N: n, L: l, R: 4, V: 0.3, Seed: seed}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var opts []core.FloodOption
+		if chaining {
+			opts = append(opts, core.WithinStepChaining(true))
+		}
+		f, err := core.NewFlooding(w, w.NearestAgent(geom.Pt(l/2, l/2)), opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+	seed := uint64(1)
+	f := newFlood(seed)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f.Done() {
+			b.StopTimer()
+			seed++
+			f = newFlood(seed)
+			b.StartTimer()
+		}
+		f.Step()
 	}
 }
 
 // BenchmarkFloodStep4k measures one flooding step (move + transmissions)
-// at 4000 agents.
-func BenchmarkFloodStep4k(b *testing.B) {
-	s, err := New(StandardConfig(4000, 4, 0.3, 1))
-	if err != nil {
-		b.Fatal(err)
-	}
-	// Drive a run manually so each iteration is one step; restart the
-	// flood when it completes.
-	res, err := s.Flood(FloodOptions{MaxSteps: 1})
-	_ = res
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := s.Flood(FloodOptions{MaxSteps: 1}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// at 4000 agents in the steady state.
+func BenchmarkFloodStep4k(b *testing.B) { floodStepBench(b, 4000, false) }
+
+// BenchmarkFloodStep4kChained is the within-step-chaining ablation of
+// BenchmarkFloodStep4k.
+func BenchmarkFloodStep4kChained(b *testing.B) { floodStepBench(b, 4000, true) }
+
+// BenchmarkFloodStep20k measures the steady-state flooding step at 20000
+// agents — the scale where per-step O(n) scans dominate.
+func BenchmarkFloodStep20k(b *testing.B) { floodStepBench(b, 20000, false) }
 
 // BenchmarkFullFlood2k measures a complete flooding run at 2000 agents.
 func BenchmarkFullFlood2k(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s, err := New(StandardConfig(2000, 5, 0.4, uint64(i)+1))
 		if err != nil {
@@ -224,9 +259,57 @@ func BenchmarkFullFlood2k(b *testing.B) {
 // BenchmarkStationaryInit10k measures perfect-simulation initialization of
 // 10000 agents.
 func BenchmarkStationaryInit10k(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := New(StandardConfig(10000, 4, 0.3, uint64(i)+1)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchPoints generates a deterministic stationary-looking point cloud for
+// index micro-benchmarks without paying mobility-model costs.
+func benchPoints(n int, l float64, seed uint64) []geom.Point {
+	rng := rand.New(rand.NewPCG(seed, 0xbe7c4))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*l, rng.Float64()*l)
+	}
+	return pts
+}
+
+// BenchmarkIndexRebuild10k measures one CSR counting-sort rebuild of the
+// neighbor index over 10000 points.
+func BenchmarkIndexRebuild10k(b *testing.B) {
+	const n, l, r = 10000, 100.0, 4.0
+	pts := benchPoints(n, l, 1)
+	ix, err := spatialindex.New(l, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix.Rebuild(pts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Rebuild(pts)
+	}
+}
+
+// BenchmarkIndexNeighbors10k measures fixed-radius queries through the
+// append-based Neighbors API (one query per indexed point).
+func BenchmarkIndexNeighbors10k(b *testing.B) {
+	const n, l, r = 10000, 100.0, 4.0
+	pts := benchPoints(n, l, 1)
+	ix, err := spatialindex.New(l, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix.Rebuild(pts)
+	dst := make([]int, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := i % n
+		dst = ix.Neighbors(pts[q], q, dst[:0])
 	}
 }

@@ -1,0 +1,240 @@
+// Command bench runs the simulator's hot-loop micro-benchmarks outside of
+// `go test` and writes the results as a JSON trajectory file, so successive
+// PRs can prove (or disprove) speedups against committed numbers.
+//
+// Usage:
+//
+//	bench [-out BENCH_1.json]
+//
+// Each entry reports ns/op, B/op and allocs/op as measured by
+// testing.Benchmark. The committed BENCH_1.json also carries the seed
+// engine's numbers (bucket-of-slices index, O(n)-rescan flooding) as
+// baseline_ns_per_op for the benchmarks that existed before the CSR +
+// frontier rewrite.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"manhattanflood/internal/core"
+	"manhattanflood/internal/geom"
+	"manhattanflood/internal/sim"
+	"manhattanflood/internal/spatialindex"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// BaselineNsPerOp is the seed engine's number for this benchmark on
+	// the reference machine, when known (0 = benchmark introduced after
+	// the baseline was taken).
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+}
+
+// Report is the file layout of BENCH_1.json.
+type Report struct {
+	Schema     string   `json:"schema"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Timestamp  string   `json:"timestamp"`
+	Results    []Result `json:"results"`
+}
+
+// baselines are the seed-engine numbers measured on the reference machine
+// (Intel Xeon @ 2.70GHz, single core) with the same benchmark bodies,
+// before the flat-CSR index and frontier flooding rewrite.
+var baselines = map[string]float64{
+	"world_step_10k":        728402,
+	"flood_step_4k":         2176070,
+	"flood_step_4k_chained": 5764699,
+	"flood_step_20k":        11433482,
+	"index_rebuild_10k":     42823,
+	"index_neighbors_10k":   1145,
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output JSON path")
+	flag.Parse()
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"world_step_10k", benchWorldStep(10000)},
+		{"flood_step_4k", benchFloodStep(4000, false)},
+		{"flood_step_4k_chained", benchFloodStep(4000, true)},
+		{"flood_step_20k", benchFloodStep(20000, false)},
+		{"index_rebuild_10k", benchIndexRebuild(10000)},
+		{"index_neighbors_10k", benchIndexNeighbors(10000)},
+		{"full_flood_2k", benchFullFlood(2000)},
+	}
+
+	rep := Report{
+		Schema:     "manhattanflood/bench/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, bench := range benches {
+		r := runBench(bench.fn)
+		r.Name = bench.name
+		r.BaselineNsPerOp = baselines[bench.name]
+		rep.Results = append(rep.Results, r)
+		speedup := ""
+		if r.BaselineNsPerOp > 0 && r.NsPerOp > 0 {
+			speedup = fmt.Sprintf("  (%.2fx vs seed)", r.BaselineNsPerOp/r.NsPerOp)
+		}
+		fmt.Printf("%-24s %12.0f ns/op %8d B/op %6d allocs/op%s\n",
+			bench.name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, speedup)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func runBench(fn func(b *testing.B)) Result {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	return Result{
+		Iterations:  res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+}
+
+func benchWorldStep(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		w, err := sim.NewWorld(sim.Params{N: n, L: 100, R: 4, V: 0.3, Seed: 1}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Step()
+		}
+	}
+}
+
+func benchFloodStep(n int, chaining bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		l := math.Sqrt(float64(n))
+		newFlood := func(seed uint64) *core.Flooding {
+			w, err := sim.NewWorld(sim.Params{N: n, L: l, R: 4, V: 0.3, Seed: seed}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var opts []core.FloodOption
+			if chaining {
+				opts = append(opts, core.WithinStepChaining(true))
+			}
+			f, err := core.NewFlooding(w, w.NearestAgent(geom.Pt(l/2, l/2)), opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return f
+		}
+		seed := uint64(1)
+		f := newFlood(seed)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if f.Done() {
+				b.StopTimer()
+				seed++
+				f = newFlood(seed)
+				b.StartTimer()
+			}
+			f.Step()
+		}
+	}
+}
+
+func benchIndexRebuild(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		const l, r = 100.0, 4.0
+		pts := benchPoints(n, l, 1)
+		ix, err := spatialindex.New(l, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix.Rebuild(pts)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ix.Rebuild(pts)
+		}
+	}
+}
+
+func benchIndexNeighbors(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		const l, r = 100.0, 4.0
+		pts := benchPoints(n, l, 1)
+		ix, err := spatialindex.New(l, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix.Rebuild(pts)
+		dst := make([]int, 0, 256)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := i % n
+			dst = ix.Neighbors(pts[q], q, dst[:0])
+		}
+	}
+}
+
+func benchFullFlood(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		l := math.Sqrt(float64(n))
+		for i := 0; i < b.N; i++ {
+			w, err := sim.NewWorld(sim.Params{N: n, L: l, R: 5, V: 0.4, Seed: uint64(i) + 1}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f, err := core.NewFlooding(w, w.NearestAgent(geom.Pt(l/2, l/2)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := f.Run(100000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchPoints(n int, l float64, seed uint64) []geom.Point {
+	rng := rand.New(rand.NewPCG(seed, 0xbe7c4))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*l, rng.Float64()*l)
+	}
+	return pts
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

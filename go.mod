@@ -1,0 +1,3 @@
+module manhattanflood
+
+go 1.24

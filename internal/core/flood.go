@@ -8,29 +8,61 @@
 // step t transmits at every subsequent step; a non-informed agent becomes
 // informed at step t iff some agent informed before t is within the
 // transmission radius R at step t.
+//
+// # Frontier engine
+//
+// Flooding.Step is frontier-based rather than a full O(n) rescan. The
+// engine keeps the uninformed agents as an explicit id list (ascending), so
+// the per-step sweep shrinks with the frontier — in the paper's second
+// phase (Theorem 3's Suburb phase, when almost every agent is informed) a
+// step costs O(#uninformed), not O(n). For each candidate it walks the
+// CSR row spans of its 3x3 bucket block directly (no per-candidate
+// closures) and consults a per-bucket uninformed-occupancy count first: a
+// grid row whose occupants are all uninformed cannot contain a transmitter
+// and is skipped without a single distance test, which prunes nearly the
+// whole sweep in the early phase when the informed set is small.
+//
+// With Params.Workers > 1 the sweep is sharded over contiguous ranges of
+// the uninformed list onto that many goroutines. Workers only read shared
+// state and append hits to per-worker buffers; the buffers are concatenated
+// in shard order, which is exactly ascending id order, so the result is
+// bit-identical to the sequential sweep.
+//
+// The WithinStepChaining ablation is a BFS from the step's newly informed
+// frontier instead of repeated full rescans: each dequeued agent scans its
+// 3x3 block for uninformed neighbors, informs them, and enqueues them. The
+// fixed point is the same epidemic closure the naive iteration computes,
+// with each agent processed once.
 package core
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"manhattanflood/internal/cells"
 	"manhattanflood/internal/geom"
 	"manhattanflood/internal/sim"
+	"manhattanflood/internal/spatialindex"
 )
 
 // Flooding runs the paper's flooding protocol over a sim.World.
 type Flooding struct {
-	w             *sim.World
-	informed      []bool
-	count         int
-	source        int
-	chainWithin   bool
-	part          *cells.Partition
-	czTime        int // first step with every CZ cell informed; -1 until then
-	series        []int
-	recordSeries  bool
-	newlyInformed []int32 // scratch
+	w            *sim.World
+	informed     []bool
+	uninformed   []int32 // ids of uninformed agents, ascending
+	count        int
+	source       int
+	chainWithin  bool
+	part         *cells.Partition
+	czTime       int // first step with every CZ cell informed; -1 until then
+	series       []int
+	recordSeries bool
+
+	newlyInformed []int32   // scratch: ids informed by this step's round, ascending
+	bucketUninf   []int32   // scratch: per-bucket uninformed occupancy
+	queue         []int32   // scratch: chaining BFS queue
+	shards        [][]int32 // scratch: per-worker hit buffers
 }
 
 // FloodOption customizes a Flooding run.
@@ -67,13 +99,19 @@ func NewFlooding(w *sim.World, source int, opts ...FloodOption) (*Flooding, erro
 		return nil, fmt.Errorf("core: source %d out of range [0, %d)", source, w.N())
 	}
 	f := &Flooding{
-		w:        w,
-		informed: make([]bool, w.N()),
-		count:    1,
-		source:   source,
-		czTime:   -1,
+		w:          w,
+		informed:   make([]bool, w.N()),
+		uninformed: make([]int32, 0, w.N()-1),
+		count:      1,
+		source:     source,
+		czTime:     -1,
 	}
 	f.informed[source] = true
+	for i := 0; i < w.N(); i++ {
+		if i != source {
+			f.uninformed = append(f.uninformed, int32(i))
+		}
+	}
 	for _, o := range opts {
 		o(f)
 	}
@@ -110,14 +148,24 @@ func (f *Flooding) Step() int {
 	f.w.Step()
 	ix := f.w.Index()
 	pos := f.w.Positions()
+
+	// Per-bucket uninformed occupancy: a bucket row whose population is
+	// entirely uninformed cannot contain a transmitter.
+	if len(f.bucketUninf) != ix.NumCells() {
+		f.bucketUninf = make([]int32, ix.NumCells())
+	} else {
+		clear(f.bucketUninf)
+	}
+	for _, i := range f.uninformed {
+		f.bucketUninf[ix.Cell(int(i))]++
+	}
+
 	f.newlyInformed = f.newlyInformed[:0]
-	for i := range f.informed {
-		if f.informed[i] {
-			continue
-		}
-		if ix.HasNeighborWhere(pos[i], i, func(j int) bool { return f.informed[j] }) {
-			f.newlyInformed = append(f.newlyInformed, int32(i))
-		}
+	workers := f.w.Params().Workers
+	if workers > 1 && len(f.uninformed) >= 2*workers {
+		f.sweepParallel(ix, pos, workers)
+	} else {
+		f.newlyInformed = f.sweep(ix, pos, f.uninformed, f.newlyInformed)
 	}
 	for _, i := range f.newlyInformed {
 		f.informed[i] = true
@@ -126,26 +174,12 @@ func (f *Flooding) Step() int {
 	newly := len(f.newlyInformed)
 
 	if f.chainWithin && newly > 0 {
-		// Epidemic closure within the snapshot: repeat until no change.
-		for {
-			var more int
-			for i := range f.informed {
-				if f.informed[i] {
-					continue
-				}
-				if ix.HasNeighborWhere(pos[i], i, func(j int) bool { return f.informed[j] }) {
-					f.informed[i] = true
-					f.count++
-					more++
-				}
-			}
-			newly += more
-			if more == 0 {
-				break
-			}
-		}
+		newly += f.chainClosure(ix, pos)
 	}
 
+	if newly > 0 {
+		f.compactUninformed()
+	}
 	if f.recordSeries {
 		f.series = append(f.series, f.count)
 	}
@@ -153,15 +187,127 @@ func (f *Flooding) Step() int {
 	return newly
 }
 
+// sweep runs one transmission round over the candidate uninformed ids,
+// appending the ids that hear a transmitter to dst (in candidate order). It
+// only reads shared state, so shards may run it concurrently.
+func (f *Flooding) sweep(ix *spatialindex.Index, pos []geom.Point, cand []int32, dst []int32) []int32 {
+	r := ix.Radius()
+	r2 := r * r
+	cols := ix.Cols()
+	for _, i := range cand {
+		p := pos[i]
+		x0, x1, y0, y1 := ix.BlockBounds(p)
+		found := false
+		for by := y0; by <= y1; by++ {
+			row := ix.RowSpan(by, x0, x1)
+			if len(row) == 0 {
+				continue
+			}
+			// Occupancy skip: all-uninformed rows have no transmitter.
+			uninf := int32(0)
+			base := by * cols
+			for bx := x0; bx <= x1; bx++ {
+				uninf += f.bucketUninf[base+bx]
+			}
+			if int(uninf) == len(row) {
+				continue
+			}
+			for _, j := range row {
+				if f.informed[j] && pos[j].Dist2(p) <= r2 {
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if found {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// sweepParallel shards the uninformed sweep over contiguous id ranges. The
+// shard buffers are concatenated in shard order — ascending id order — so
+// the merged result is bit-identical to the sequential sweep.
+func (f *Flooding) sweepParallel(ix *spatialindex.Index, pos []geom.Point, workers int) {
+	n := len(f.uninformed)
+	chunk := (n + workers - 1) / workers
+	if len(f.shards) < workers {
+		f.shards = append(f.shards, make([][]int32, workers-len(f.shards))...)
+	}
+	var wg sync.WaitGroup
+	nsh := 0
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		sh := nsh
+		nsh++
+		wg.Add(1)
+		go func(sh, lo, hi int) {
+			defer wg.Done()
+			f.shards[sh] = f.sweep(ix, pos, f.uninformed[lo:hi], f.shards[sh][:0])
+		}(sh, start, end)
+	}
+	wg.Wait()
+	for s := 0; s < nsh; s++ {
+		f.newlyInformed = append(f.newlyInformed, f.shards[s]...)
+	}
+}
+
+// chainClosure computes the within-step epidemic closure by BFS from the
+// step's newly informed frontier, returning how many agents were chained
+// in. Each dequeued transmitter scans its 3x3 block once; the fixed point
+// equals the naive repeat-until-no-change closure.
+func (f *Flooding) chainClosure(ix *spatialindex.Index, pos []geom.Point) int {
+	r := ix.Radius()
+	r2 := r * r
+	f.queue = append(f.queue[:0], f.newlyInformed...)
+	chained := 0
+	for qi := 0; qi < len(f.queue); qi++ {
+		j := f.queue[qi]
+		p := pos[j]
+		x0, x1, y0, y1 := ix.BlockBounds(p)
+		for by := y0; by <= y1; by++ {
+			for _, k := range ix.RowSpan(by, x0, x1) {
+				if !f.informed[k] && pos[k].Dist2(p) <= r2 {
+					f.informed[k] = true
+					f.queue = append(f.queue, k)
+					chained++
+				}
+			}
+		}
+	}
+	f.count += chained
+	return chained
+}
+
+// compactUninformed drops newly informed ids from the uninformed list,
+// preserving ascending order.
+func (f *Flooding) compactUninformed() {
+	keep := f.uninformed[:0]
+	for _, i := range f.uninformed {
+		if !f.informed[i] {
+			keep = append(keep, i)
+		}
+	}
+	f.uninformed = keep
+}
+
 // updateCZ records the first step at which every Central Zone cell is
-// informed (contains no uninformed agent).
+// informed (contains no uninformed agent). Only the uninformed list is
+// scanned, so the check is O(#uninformed).
 func (f *Flooding) updateCZ() {
 	if f.part == nil || f.czTime >= 0 {
 		return
 	}
 	pos := f.w.Positions()
-	for i, inf := range f.informed {
-		if !inf && f.part.IsCentralPoint(pos[i]) {
+	for _, i := range f.uninformed {
+		if f.part.IsCentralPoint(pos[i]) {
 			return
 		}
 	}

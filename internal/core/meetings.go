@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"manhattanflood/internal/cells"
-	"manhattanflood/internal/geom"
 	"manhattanflood/internal/sim"
 )
 
@@ -66,20 +65,24 @@ func MeasureMeetings(w *sim.World, part *cells.Partition, maxSteps int) (Meeting
 	check := func(step int) {
 		ix := w.Index()
 		pos := w.Positions()
+		var rows [3][]int32
 		for _, i := range suburb {
 			if met[i] {
 				continue
 			}
+			p := pos[i]
 			found := false
 			// The neighbor index radius is R >= (3/4)R, so filter by the
-			// meeting distance inside the visit.
-			ix.VisitNeighbors(pos[i], int(i), func(j int, p geom.Point) bool {
-				if fromCZ[j] && p.Dist2(pos[i]) <= meetR2 {
-					found = true
-					return false
+			// meeting distance while walking the block's CSR row spans.
+			nr := ix.BlockRows(p, &rows)
+			for ri := 0; ri < nr && !found; ri++ {
+				for _, j := range rows[ri] {
+					if j != i && fromCZ[j] && pos[j].Dist2(p) <= meetR2 {
+						found = true
+						break
+					}
 				}
-				return true
-			})
+			}
 			if found {
 				met[i] = true
 				remaining--

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"manhattanflood/internal/geom"
 	"manhattanflood/internal/sim"
 )
 
@@ -75,24 +74,30 @@ func (f *TreeFlooding) Step() int {
 	f.w.Step()
 	ix := f.w.Index()
 	pos := f.w.Positions()
+	r2 := ix.Radius() * ix.Radius()
 	now := int32(f.w.Time())
 	type hit struct {
 		child, parent int32
 	}
 	var newly []hit
+	var rows [3][]int32
 	for i := range f.informed {
 		if f.informed[i] {
 			continue
 		}
+		p := pos[i]
 		best, bestD := int32(-1), math.Inf(1)
-		ix.VisitNeighbors(pos[i], i, func(j int, p geom.Point) bool {
-			if f.informed[j] {
-				if d := p.Dist2(pos[i]); d < bestD || (d == bestD && int32(j) < best) {
-					best, bestD = int32(j), d
+		nr := ix.BlockRows(p, &rows)
+		for ri := 0; ri < nr; ri++ {
+			for _, j := range rows[ri] {
+				if !f.informed[j] {
+					continue
+				}
+				if d := pos[j].Dist2(p); d <= r2 && (d < bestD || (d == bestD && j < best)) {
+					best, bestD = j, d
 				}
 			}
-			return true
-		})
+		}
 		if best >= 0 {
 			newly = append(newly, hit{child: int32(i), parent: best})
 		}

@@ -60,6 +60,7 @@ func (f *ParsimoniousFlooding) Step() int {
 	f.w.Step()
 	ix := f.w.Index()
 	pos := f.w.Positions()
+	r2 := ix.Radius() * ix.Radius()
 	// Decide which informed agents transmit this round.
 	active := make([]bool, len(f.informed))
 	for i, inf := range f.informed {
@@ -69,12 +70,21 @@ func (f *ParsimoniousFlooding) Step() int {
 		}
 	}
 	var newly []int32
+	var rows [3][]int32
 	for i := range f.informed {
 		if f.informed[i] {
 			continue
 		}
-		if ix.HasNeighborWhere(pos[i], i, func(j int) bool { return active[j] }) {
-			newly = append(newly, int32(i))
+		p := pos[i]
+		nr := ix.BlockRows(p, &rows)
+	scan:
+		for ri := 0; ri < nr; ri++ {
+			for _, j := range rows[ri] {
+				if active[j] && pos[j].Dist2(p) <= r2 {
+					newly = append(newly, int32(i))
+					break scan
+				}
+			}
 		}
 	}
 	for _, i := range newly {

@@ -37,7 +37,10 @@ func E17PauseAblation(cfg Config) (E17Result, error) {
 	r := 2.0
 	v := 0.2
 	pauses := pick(cfg, []float64{0, 50, 200, 600}, []float64{0, 200})
-	trials := cfg.trials(4, 2)
+	// Flooding-time variance at small n is large; Quick mode needs enough
+	// trials for the paused-vs-unpaused CI-based test assertion to be
+	// meaningful.
+	trials := cfg.trials(4, 6)
 	maxSteps := pick(cfg, 200000, 80000)
 
 	res := E17Result{N: n, L: l, R: r, V: v}

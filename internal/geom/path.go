@@ -173,3 +173,76 @@ func headingOf(a, b Point) Heading {
 		return HeadingNone
 	}
 }
+
+// CompiledPath is an LPath with its derived geometry — corner, leg
+// lengths, leg headings — computed once. Agent stepping interrogates the
+// path geometry several times per step; the plain LPath methods recompute
+// the corner and the Manhattan distances on every call, which dominates
+// the simulator's per-step cost. All CompiledPath methods are exact
+// drop-ins for their LPath counterparts (bit-identical results).
+type CompiledPath struct {
+	LPath
+	// CornerPt is Corner(), cached.
+	CornerPt Point
+	// FirstLen is FirstLegLength(), cached.
+	FirstLen float64
+	// TotalLen is Length(), cached.
+	TotalLen float64
+	// Leg1 and Leg2 are the headings of the two legs (HeadingNone for a
+	// degenerate leg).
+	Leg1, Leg2 Heading
+}
+
+// Compile caches the derived geometry of p.
+func Compile(p LPath) CompiledPath {
+	c := p.Corner()
+	return CompiledPath{
+		LPath:    p,
+		CornerPt: c,
+		FirstLen: p.Src.ManhattanDist(c),
+		TotalLen: p.Src.ManhattanDist(p.Dst),
+		Leg1:     headingOf(p.Src, c),
+		Leg2:     headingOf(c, p.Dst),
+	}
+}
+
+// At is LPath.At using the cached geometry.
+func (c *CompiledPath) At(d float64) Point {
+	if d <= 0 {
+		return c.Src
+	}
+	if d >= c.TotalLen {
+		return c.Dst
+	}
+	if d <= c.FirstLen {
+		return lerpAxis(c.Src, c.CornerPt, d)
+	}
+	return lerpAxis(c.CornerPt, c.Dst, d-c.FirstLen)
+}
+
+// HeadingAt is LPath.HeadingAt using the cached geometry.
+func (c *CompiledPath) HeadingAt(d float64) Heading {
+	if c.TotalLen == 0 || d >= c.TotalLen {
+		return HeadingNone
+	}
+	if d < c.FirstLen {
+		return c.Leg1
+	}
+	if c.Leg2 == HeadingNone { // degenerate second leg
+		return c.Leg1
+	}
+	return c.Leg2
+}
+
+// OnSecondLeg is LPath.OnSecondLeg using the cached geometry.
+func (c *CompiledPath) OnSecondLeg(d float64) bool { return d > c.FirstLen }
+
+// HeadingInto returns the direction of travel as the path arrives at its
+// destination: the last non-degenerate leg's heading (HeadingNone for a
+// zero-length path).
+func (c *CompiledPath) HeadingInto() Heading {
+	if c.Leg2 != HeadingNone {
+		return c.Leg2
+	}
+	return headingOf(c.Src, c.Dst)
+}

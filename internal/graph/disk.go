@@ -11,21 +11,23 @@ import (
 // and two vertices are adjacent iff their Euclidean distance is at most the
 // radius — exactly the paper's communication graph G_t.
 type Disk struct {
-	pts    []geom.Point
+	pts    []geom.Point // the index's internal copy, in id order
 	radius float64
 	index  *spatialindex.Index
 }
 
 // NewDisk builds the disk graph of pts over [0, side]^2 with the given
-// transmission radius. The pts slice is retained; callers must not mutate
-// it while using the graph.
+// transmission radius. The pts slice is copied (by the index rebuild), so
+// the graph remains a consistent snapshot even if the caller mutates or
+// reuses pts afterwards — sim.World.Positions is reused in place across
+// steps, and held snapshots must not drift with it.
 func NewDisk(pts []geom.Point, side, radius float64) (*Disk, error) {
 	ix, err := spatialindex.New(side, radius)
 	if err != nil {
 		return nil, fmt.Errorf("graph: %w", err)
 	}
 	ix.Rebuild(pts)
-	return &Disk{pts: pts, radius: radius, index: ix}, nil
+	return &Disk{pts: ix.Points(), radius: radius, index: ix}, nil
 }
 
 // Order returns the number of vertices.
@@ -54,16 +56,22 @@ func (g *Disk) Neighbors(i int, dst []int) []int {
 }
 
 // Components computes the connected components via union-find in
-// O(n + edges * alpha).
+// O(n + edges * alpha). The edge scan walks the CSR row spans directly.
 func (g *Disk) Components() *UnionFind {
 	u := NewUnionFind(len(g.pts))
+	r2 := g.radius * g.radius
+	var rows [3][]int32
 	for i := range g.pts {
-		g.index.VisitNeighbors(g.pts[i], i, func(j int, _ geom.Point) bool {
-			if j > i { // each undirected edge once
-				u.Union(i, j)
+		p := g.pts[i]
+		nr := g.index.BlockRows(p, &rows)
+		for ri := 0; ri < nr; ri++ {
+			for _, j := range rows[ri] {
+				// Each undirected edge once.
+				if int(j) > i && g.pts[j].Dist2(p) <= r2 {
+					u.Union(i, int(j))
+				}
 			}
-			return true
-		})
+		}
 	}
 	return u
 }
@@ -106,18 +114,23 @@ func (g *Disk) BFSFrom(src int) ([]int, error) {
 		dist[i] = -1
 	}
 	dist[src] = 0
+	r2 := g.radius * g.radius
 	queue := make([]int32, 0, n)
 	queue = append(queue, int32(src))
+	var rows [3][]int32
 	for len(queue) > 0 {
 		v := int(queue[0])
 		queue = queue[1:]
-		g.index.VisitNeighbors(g.pts[v], v, func(w int, _ geom.Point) bool {
-			if dist[w] == -1 {
-				dist[w] = dist[v] + 1
-				queue = append(queue, int32(w))
+		p := g.pts[v]
+		nr := g.index.BlockRows(p, &rows)
+		for ri := 0; ri < nr; ri++ {
+			for _, w := range rows[ri] {
+				if dist[w] == -1 && g.pts[w].Dist2(p) <= r2 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
 			}
-			return true
-		})
+		}
 	}
 	return dist, nil
 }

@@ -61,13 +61,14 @@ func (m *MRWP) NewAgent(rng *rand.Rand) Agent {
 	switch m.init {
 	case InitUniform:
 		src := geom.Pt(rng.Float64()*m.cfg.L, rng.Float64()*m.cfg.L)
-		a.path = geom.NewLPath(src, m.uniformPoint(rng), randOrder(rng))
+		a.setPath(geom.NewLPath(src, m.uniformPoint(rng), randOrder(rng)))
 		a.travelled = 0
 	case InitTheorem12:
 		a.initFromTheorems(m, rng)
 	default: // InitStationary
 		t := m.trip.Sample(rng)
-		a.path, a.travelled = t.Path, t.Travelled
+		a.setPath(t.Path)
+		a.travelled = t.Travelled
 	}
 	a.pos = a.path.At(a.travelled)
 	return a
@@ -94,12 +95,15 @@ func randOrder(rng *rand.Rand) geom.LegOrder {
 type MRWPAgent struct {
 	cfg       Config
 	rng       *rand.Rand
-	path      geom.LPath
+	path      geom.CompiledPath
 	travelled float64
 	pos       geom.Point
 	turns     int64
 	waypoints int64
 }
+
+// setPath installs a fresh trip, caching its derived geometry.
+func (a *MRWPAgent) setPath(p geom.LPath) { a.path = geom.Compile(p) }
 
 var (
 	_ Directed    = (*MRWPAgent)(nil)
@@ -125,14 +129,14 @@ func (a *MRWPAgent) initFromTheorems(m *MRWP, rng *rand.Rand) {
 	if err != nil {
 		// Unreachable after the rejection loop above; fall back to a fresh
 		// uniform trip rather than panicking in library code.
-		a.path = geom.NewLPath(pos, m.uniformPoint(rng), randOrder(rng))
+		a.setPath(geom.NewLPath(pos, m.uniformPoint(rng), randOrder(rng)))
 		a.travelled = 0
 		return
 	}
 	dst, onCross := dl.Sample(rng)
 	if onCross {
 		// Final leg: a single straight segment; either leg order yields it.
-		a.path = geom.NewLPath(pos, dst, geom.VerticalFirst)
+		a.setPath(geom.NewLPath(pos, dst, geom.VerticalFirst))
 		a.travelled = 0
 		return
 	}
@@ -141,7 +145,7 @@ func (a *MRWPAgent) initFromTheorems(m *MRWP, rng *rand.Rand) {
 	if heading.Horizontal() {
 		order = geom.HorizontalFirst
 	}
-	a.path = geom.NewLPath(pos, dst, order)
+	a.setPath(geom.NewLPath(pos, dst, order))
 	a.travelled = 0
 }
 
@@ -164,36 +168,37 @@ func (a *MRWPAgent) Turns() int64 { return a.turns }
 func (a *MRWPAgent) Waypoints() int64 { return a.waypoints }
 
 // Path returns the current L-path (for tests and trace tooling).
-func (a *MRWPAgent) Path() geom.LPath { return a.path }
+func (a *MRWPAgent) Path() geom.LPath { return a.path.LPath }
 
 // OnSecondLeg reports whether the agent is past its turn point.
 func (a *MRWPAgent) OnSecondLeg() bool { return a.path.OnSecondLeg(a.travelled) }
 
 // Step implements Agent. It advances the agent by distance V along its
 // route, chaining into fresh trips as destinations are reached within the
-// time unit, and counts direction changes (the paper's "turns").
+// time unit, and counts direction changes (the paper's "turns"). All path
+// geometry comes from the compiled cache, so a step is pure arithmetic —
+// no per-call corner or length recomputation.
 func (a *MRWPAgent) Step() {
 	residual := a.cfg.V
 	for residual > 0 {
-		length := a.path.Length()
-		remain := length - a.travelled
+		remain := a.path.TotalLen - a.travelled
 		if residual < remain {
-			before := a.path.HeadingAt(a.travelled)
-			corner := a.path.FirstLegLength()
-			crossesCorner := a.travelled < corner && a.travelled+residual >= corner
-			a.travelled += residual
-			residual = 0
-			if crossesCorner {
+			corner := a.path.FirstLen
+			if a.travelled < corner && a.travelled+residual >= corner {
+				before := a.path.HeadingAt(a.travelled)
+				a.travelled += residual
 				after := a.path.HeadingAt(a.travelled)
 				if after != before && before != geom.HeadingNone && after != geom.HeadingNone {
 					a.turns++
 				}
+			} else {
+				a.travelled += residual
 			}
 			break
 		}
 		// Reach the destination; account for a mid-path corner turn if it
 		// is still ahead of the current progress.
-		if corner := a.path.FirstLegLength(); a.travelled < corner && corner < length {
+		if corner := a.path.FirstLen; a.travelled < corner && corner < a.path.TotalLen {
 			h1 := a.path.HeadingAt(a.travelled)
 			h2 := a.path.HeadingAt(corner)
 			if h1 != h2 && h1 != geom.HeadingNone && h2 != geom.HeadingNone {
@@ -201,7 +206,7 @@ func (a *MRWPAgent) Step() {
 			}
 		}
 		residual -= remain
-		lastHeading := headingInto(a.path)
+		lastHeading := a.path.HeadingInto()
 		a.startTrip()
 		a.waypoints++
 		if nh := a.path.HeadingAt(0); nh != lastHeading && nh != geom.HeadingNone && lastHeading != geom.HeadingNone {
@@ -215,31 +220,6 @@ func (a *MRWPAgent) Step() {
 func (a *MRWPAgent) startTrip() {
 	src := a.path.Dst
 	dst := geom.Pt(a.rng.Float64()*a.cfg.L, a.rng.Float64()*a.cfg.L)
-	a.path = geom.NewLPath(src, dst, randOrder(a.rng))
+	a.setPath(geom.NewLPath(src, dst, randOrder(a.rng)))
 	a.travelled = 0
-}
-
-// headingInto returns the direction the path is travelled in as it arrives
-// at its destination (the last non-degenerate leg's direction).
-func headingInto(p geom.LPath) geom.Heading {
-	c := p.Corner()
-	if c != p.Dst {
-		return headingBetween(c, p.Dst)
-	}
-	return headingBetween(p.Src, p.Dst)
-}
-
-func headingBetween(a, b geom.Point) geom.Heading {
-	switch {
-	case b.X > a.X:
-		return geom.HeadingEast
-	case b.X < a.X:
-		return geom.HeadingWest
-	case b.Y > a.Y:
-		return geom.HeadingNorth
-	case b.Y < a.Y:
-		return geom.HeadingSouth
-	default:
-		return geom.HeadingNone
-	}
 }

@@ -83,11 +83,12 @@ func (m *PausedMRWP) NewAgent(rng *rand.Rand) Agent {
 		total := m.maxPause * math.Sqrt(rng.Float64())
 		a.pauseLeft = total * rng.Float64()
 		// The path is the degenerate "already arrived" trip.
-		a.path = geom.NewLPath(pos, pos, geom.VerticalFirst)
+		a.setPath(geom.NewLPath(pos, pos, geom.VerticalFirst))
 		a.travelled = 0
 	} else {
 		t := m.trip.Sample(rng)
-		a.path, a.travelled = t.Path, t.Travelled
+		a.setPath(t.Path)
+		a.travelled = t.Travelled
 	}
 	a.pos = a.path.At(a.travelled)
 	return a
@@ -98,11 +99,14 @@ type PausedAgent struct {
 	cfg       Config
 	maxPause  float64
 	rng       *rand.Rand
-	path      geom.LPath
+	path      geom.CompiledPath
 	travelled float64
 	pauseLeft float64 // remaining pause time at the current way-point
 	pos       geom.Point
 }
+
+// setPath installs a fresh trip, caching its derived geometry.
+func (a *PausedAgent) setPath(p geom.LPath) { a.path = geom.Compile(p) }
 
 var _ Agent = (*PausedAgent)(nil)
 
@@ -129,7 +133,7 @@ func (a *PausedAgent) Step() {
 			timeLeft -= a.pauseLeft
 			a.pauseLeft = 0
 		}
-		remain := a.path.Length() - a.travelled
+		remain := a.path.TotalLen - a.travelled
 		maxDist := a.cfg.V * timeLeft
 		if maxDist < remain {
 			a.travelled += maxDist
@@ -140,7 +144,7 @@ func (a *PausedAgent) Step() {
 		a.pauseLeft = a.rng.Float64() * a.maxPause
 		src := a.path.Dst
 		dst := geom.Pt(a.rng.Float64()*a.cfg.L, a.rng.Float64()*a.cfg.L)
-		a.path = geom.NewLPath(src, dst, randOrder(a.rng))
+		a.setPath(geom.NewLPath(src, dst, randOrder(a.rng)))
 		a.travelled = 0
 	}
 	a.pos = a.path.At(a.travelled).Clamp(a.cfg.L)

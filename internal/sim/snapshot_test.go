@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"testing"
+)
+
+// A held SnapshotGraph must stay a consistent picture of the step it was
+// taken at, even though World.Positions is reused in place by later Step
+// calls. Regression test for the old index behavior of retaining the
+// caller's slice.
+func TestSnapshotGraphStableAcrossSteps(t *testing.T) {
+	w, err := NewWorld(Params{N: 300, L: 18, R: 2.5, V: 0.5, Seed: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := w.SnapshotGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record the snapshot's view before the world moves on.
+	degBefore := make([]int, w.N())
+	for i := 0; i < w.N(); i++ {
+		degBefore[i] = g.Degree(i)
+	}
+	nbrBefore := g.Neighbors(0, nil)
+	compBefore := g.Components().Sets()
+
+	for s := 0; s < 50; s++ {
+		w.Step()
+	}
+
+	for i := 0; i < w.N(); i++ {
+		if got := g.Degree(i); got != degBefore[i] {
+			t.Fatalf("vertex %d degree drifted after stepping: %d -> %d", i, degBefore[i], got)
+		}
+	}
+	nbrAfter := g.Neighbors(0, nil)
+	if len(nbrAfter) != len(nbrBefore) {
+		t.Fatalf("neighbor list drifted: %v -> %v", nbrBefore, nbrAfter)
+	}
+	for i := range nbrAfter {
+		if nbrAfter[i] != nbrBefore[i] {
+			t.Fatalf("neighbor list drifted: %v -> %v", nbrBefore, nbrAfter)
+		}
+	}
+	if got := g.Components().Sets(); got != compBefore {
+		t.Fatalf("component count drifted: %d -> %d", compBefore, got)
+	}
+}

@@ -198,7 +198,9 @@ func (w *World) stepParallel() {
 func (w *World) Position(i int) geom.Point { return w.pos[i] }
 
 // Positions returns the live position slice. It is re-used across steps;
-// callers must copy it if they need a stable snapshot.
+// callers must copy it if they need a stable snapshot. (The neighbor index
+// and disk-graph snapshots copy internally, so only direct holds on this
+// slice are affected.)
 func (w *World) Positions() []geom.Point { return w.pos }
 
 // Agent returns agent i (for model-specific introspection such as turn
@@ -209,11 +211,11 @@ func (w *World) Agent(i int) mobility.Agent { return w.agents[i] }
 // the next Step call.
 func (w *World) Index() *spatialindex.Index { return w.index }
 
-// SnapshotGraph builds the disk graph G_t of the current step.
+// SnapshotGraph builds the disk graph G_t of the current step. The graph
+// copies the positions (in its index rebuild), so it remains a consistent
+// snapshot across future Step calls.
 func (w *World) SnapshotGraph() (*graph.Disk, error) {
-	// Copy positions: the graph must stay valid across future steps.
-	pts := append([]geom.Point(nil), w.pos...)
-	return graph.NewDisk(pts, w.params.L, w.params.R)
+	return graph.NewDisk(w.pos, w.params.L, w.params.R)
 }
 
 // NearestAgent returns the id of the agent closest to pt (ties broken by

@@ -6,6 +6,24 @@
 // to scan the 3x3 block of buckets around the query point: O(number of
 // neighbors) expected time under any bounded density.
 //
+// # CSR layout
+//
+// The index stores the grid in compressed-sparse-row (CSR) form: one flat
+// ids array holding every point id in bucket-major order plus an offsets
+// array starts of length NumCells+1, so bucket c owns ids[starts[c] :
+// starts[c+1]]. Rebuild is a two-pass counting sort into these reusable
+// arrays — zero allocations per step once capacities are warm — and a
+// bucket scan is one cache-linear slice walk instead of chasing
+// bucket-of-slices pointers. Because buckets are numbered row-major, the
+// three buckets of one row of a 3x3 query block are adjacent in the ids
+// array; BlockRows exposes each such row as a single contiguous span, which
+// is the closure-free fast path the flooding engine and the disk graph
+// iterate directly.
+//
+// Rebuild copies the points into an internal buffer, so the index stays
+// valid when the caller mutates or reuses its position slice afterwards
+// (sim.World reuses one slice across steps).
+//
 // An intentionally naive O(n^2) reference implementation (Brute) backs the
 // property tests.
 package spatialindex
@@ -17,15 +35,19 @@ import (
 	"manhattanflood/internal/geom"
 )
 
-// Index is a uniform-grid fixed-radius neighbor index. Build it once per
-// simulation step with Rebuild; queries are read-only and may run
+// Index is a uniform-grid fixed-radius neighbor index in CSR form. Build it
+// once per simulation step with Rebuild; queries are read-only and may run
 // concurrently after a Rebuild completes.
 type Index struct {
-	side    float64
-	radius  float64
-	cols    int
-	buckets [][]int32 // bucket -> point ids
-	pts     []geom.Point
+	side   float64
+	radius float64
+	invR   float64
+	cols   int
+	starts []int32 // bucket -> offset into ids; len cols*cols + 1
+	ids    []int32 // point ids in bucket-major order, ascending per bucket
+	cellOf []int32 // point id -> bucket
+	cursor []int32 // counting-sort scratch
+	pts    []geom.Point
 }
 
 // New creates an index over [0, side]^2 for neighbor queries at the given
@@ -42,10 +64,12 @@ func New(side, radius float64) (*Index, error) {
 		cols = 1
 	}
 	return &Index{
-		side:    side,
-		radius:  radius,
-		cols:    cols,
-		buckets: make([][]int32, cols*cols),
+		side:   side,
+		radius: radius,
+		invR:   1 / radius,
+		cols:   cols,
+		starts: make([]int32, cols*cols+1),
+		cursor: make([]int32, cols*cols),
 	}, nil
 }
 
@@ -55,23 +79,64 @@ func (ix *Index) Radius() float64 { return ix.radius }
 // Len returns the number of indexed points.
 func (ix *Index) Len() int { return len(ix.pts) }
 
-// Rebuild re-populates the index with pts. Point ids are the slice indices.
-// The pts slice is retained (not copied); callers must not mutate it until
-// the next Rebuild.
+// Cols returns the number of grid buckets per side.
+func (ix *Index) Cols() int { return ix.cols }
+
+// NumCells returns the total number of grid buckets, Cols^2.
+func (ix *Index) NumCells() int { return ix.cols * ix.cols }
+
+// Rebuild re-populates the index with pts via a two-pass counting sort.
+// Point ids are the slice indices. The pts slice is copied, not retained:
+// the caller may mutate or reuse it immediately, and previously built
+// queries against this index stay consistent until the next Rebuild.
 func (ix *Index) Rebuild(pts []geom.Point) {
-	for i := range ix.buckets {
-		ix.buckets[i] = ix.buckets[i][:0]
+	n := len(pts)
+	ix.pts = append(ix.pts[:0], pts...)
+	if cap(ix.cellOf) < n {
+		ix.cellOf = make([]int32, n)
+		ix.ids = make([]int32, n)
 	}
-	ix.pts = pts
+	ix.cellOf = ix.cellOf[:n]
+	ix.ids = ix.ids[:n]
+
+	starts := ix.starts
+	clear(starts)
 	for i, p := range pts {
-		b := ix.bucketOf(p)
-		ix.buckets[b] = append(ix.buckets[b], int32(i))
+		c := int32(ix.bucketOf(p))
+		ix.cellOf[i] = c
+		starts[c+1]++
+	}
+	m := ix.cols * ix.cols
+	for c := 0; c < m; c++ {
+		starts[c+1] += starts[c]
+	}
+	cursor := ix.cursor
+	copy(cursor, starts[:m])
+	// Stable scatter: ids stay ascending within each bucket.
+	for i := range pts {
+		c := ix.cellOf[i]
+		ix.ids[cursor[c]] = int32(i)
+		cursor[c]++
 	}
 }
 
+// Point returns the indexed position of point id (valid until the next
+// Rebuild).
+func (ix *Index) Point(id int) geom.Point { return ix.pts[id] }
+
+// Points returns the index's internal copy of the point set, in id order.
+// The slice is read-only and valid until the next Rebuild.
+func (ix *Index) Points() []geom.Point { return ix.pts }
+
+// Cell returns the bucket holding point id.
+func (ix *Index) Cell(id int) int { return int(ix.cellOf[id]) }
+
+// CellCount returns the number of points in bucket c.
+func (ix *Index) CellCount(c int) int { return int(ix.starts[c+1] - ix.starts[c]) }
+
 func (ix *Index) bucketOf(p geom.Point) int {
-	cx := ix.clampCol(int(p.X / ix.radius))
-	cy := ix.clampCol(int(p.Y / ix.radius))
+	cx := ix.clampCol(int(p.X * ix.invR))
+	cy := ix.clampCol(int(p.Y * ix.invR))
 	return cy*ix.cols + cx
 }
 
@@ -85,32 +150,72 @@ func (ix *Index) clampCol(c int) int {
 	return c
 }
 
+// BlockBounds returns the inclusive bucket-coordinate bounds [x0, x1] x
+// [y0, y1] of the 3x3 bucket block around q, clipped to the grid.
+func (ix *Index) BlockBounds(q geom.Point) (x0, x1, y0, y1 int) {
+	cx := ix.clampCol(int(q.X * ix.invR))
+	cy := ix.clampCol(int(q.Y * ix.invR))
+	x0, x1 = cx-1, cx+1
+	if x0 < 0 {
+		x0 = 0
+	}
+	if x1 >= ix.cols {
+		x1 = ix.cols - 1
+	}
+	y0, y1 = cy-1, cy+1
+	if y0 < 0 {
+		y0 = 0
+	}
+	if y1 >= ix.cols {
+		y1 = ix.cols - 1
+	}
+	return x0, x1, y0, y1
+}
+
+// RowSpan returns the ids of buckets (x0..x1, by) as one contiguous span —
+// adjacent buckets of a grid row are adjacent in the CSR ids array. Ids are
+// ascending within each bucket.
+func (ix *Index) RowSpan(by, x0, x1 int) []int32 {
+	lo := ix.starts[by*ix.cols+x0]
+	hi := ix.starts[by*ix.cols+x1+1]
+	return ix.ids[lo:hi]
+}
+
+// BlockRows fills rows with up to three contiguous id spans covering the
+// 3x3 bucket block around q and returns the number of spans. This is the
+// closure-free fast path: callers range over raw []int32 spans and apply
+// their own distance filter against Points or their own position slice.
+func (ix *Index) BlockRows(q geom.Point, rows *[3][]int32) int {
+	x0, x1, y0, y1 := ix.BlockBounds(q)
+	nr := 0
+	for by := y0; by <= y1; by++ {
+		if s := ix.RowSpan(by, x0, x1); len(s) > 0 {
+			rows[nr] = s
+			nr++
+		}
+	}
+	return nr
+}
+
 // VisitNeighbors calls fn for every indexed point within Euclidean distance
 // r <= Radius of q, excluding the point with id exclude (pass -1 to keep
 // all). Iteration stops early if fn returns false.
+//
+// The closure-based visitors remain for cold paths and tests; hot loops use
+// BlockRows to avoid per-candidate function calls.
 func (ix *Index) VisitNeighbors(q geom.Point, exclude int, fn func(id int, p geom.Point) bool) {
 	r2 := ix.radius * ix.radius
-	cx := ix.clampCol(int(q.X / ix.radius))
-	cy := ix.clampCol(int(q.Y / ix.radius))
-	for dy := -1; dy <= 1; dy++ {
-		by := cy + dy
-		if by < 0 || by >= ix.cols {
-			continue
-		}
-		for dx := -1; dx <= 1; dx++ {
-			bx := cx + dx
-			if bx < 0 || bx >= ix.cols {
+	var rows [3][]int32
+	nr := ix.BlockRows(q, &rows)
+	for ri := 0; ri < nr; ri++ {
+		for _, id := range rows[ri] {
+			if int(id) == exclude {
 				continue
 			}
-			for _, id := range ix.buckets[by*ix.cols+bx] {
-				if int(id) == exclude {
-					continue
-				}
-				p := ix.pts[id]
-				if p.Dist2(q) <= r2 {
-					if !fn(int(id), p) {
-						return
-					}
+			p := ix.pts[id]
+			if p.Dist2(q) <= r2 {
+				if !fn(int(id), p) {
+					return
 				}
 			}
 		}
@@ -121,36 +226,50 @@ func (ix *Index) VisitNeighbors(q geom.Point, exclude int, fn func(id int, p geo
 // of q, excluding the point with id exclude (pass -1 to keep all). The
 // result is appended to dst to allow allocation reuse.
 func (ix *Index) Neighbors(q geom.Point, exclude int, dst []int) []int {
-	ix.VisitNeighbors(q, exclude, func(id int, _ geom.Point) bool {
-		dst = append(dst, id)
-		return true
-	})
+	r2 := ix.radius * ix.radius
+	var rows [3][]int32
+	nr := ix.BlockRows(q, &rows)
+	for ri := 0; ri < nr; ri++ {
+		for _, id := range rows[ri] {
+			if int(id) != exclude && ix.pts[id].Dist2(q) <= r2 {
+				dst = append(dst, int(id))
+			}
+		}
+	}
 	return dst
 }
 
 // CountNeighbors returns the number of indexed points within the radius of
 // q, excluding the point with id exclude (pass -1 to keep all).
 func (ix *Index) CountNeighbors(q geom.Point, exclude int) int {
-	var n int
-	ix.VisitNeighbors(q, exclude, func(int, geom.Point) bool {
-		n++
-		return true
-	})
+	r2 := ix.radius * ix.radius
+	var rows [3][]int32
+	nr := ix.BlockRows(q, &rows)
+	n := 0
+	for ri := 0; ri < nr; ri++ {
+		for _, id := range rows[ri] {
+			if int(id) != exclude && ix.pts[id].Dist2(q) <= r2 {
+				n++
+			}
+		}
+	}
 	return n
 }
 
 // HasNeighborWhere reports whether some indexed point within the radius of
 // q (excluding exclude) satisfies pred. It short-circuits on the first hit.
 func (ix *Index) HasNeighborWhere(q geom.Point, exclude int, pred func(id int) bool) bool {
-	var found bool
-	ix.VisitNeighbors(q, exclude, func(id int, _ geom.Point) bool {
-		if pred(id) {
-			found = true
-			return false
+	r2 := ix.radius * ix.radius
+	var rows [3][]int32
+	nr := ix.BlockRows(q, &rows)
+	for ri := 0; ri < nr; ri++ {
+		for _, id := range rows[ri] {
+			if int(id) != exclude && ix.pts[id].Dist2(q) <= r2 && pred(int(id)) {
+				return true
+			}
 		}
-		return true
-	})
-	return found
+	}
+	return false
 }
 
 // Brute is the O(n^2) reference neighbor finder used to validate Index in
@@ -163,8 +282,9 @@ type Brute struct {
 // NewBrute creates a brute-force reference index.
 func NewBrute(radius float64) *Brute { return &Brute{radius: radius} }
 
-// Rebuild re-populates the reference index.
-func (b *Brute) Rebuild(pts []geom.Point) { b.pts = pts }
+// Rebuild re-populates the reference index. Like Index.Rebuild it copies
+// pts.
+func (b *Brute) Rebuild(pts []geom.Point) { b.pts = append(b.pts[:0], pts...) }
 
 // Neighbors returns all point ids within the radius of q, excluding
 // exclude.
