@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test bench bench-json clean
+.PHONY: ci fmt vet build test bench bench-json bench-compare clean
 
-# ci is the tier-1 gate: formatting, static checks, build, tests, and the
-# short hot-loop benchmark suite.
-ci: fmt vet build test bench
+# ci is the tier-1 gate: formatting, static checks, build, tests, the
+# short hot-loop benchmark smoke run, and the benchmark regression gate
+# against the committed trajectory file.
+ci: fmt vet build test bench bench-compare
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -26,9 +27,23 @@ test:
 bench:
 	$(GO) test -run '^$$' -bench 'WorldStep10k|FloodStep4k$$|IndexRebuild10k|IndexNeighbors10k' -benchtime 100x -benchmem .
 
-# bench-json regenerates the committed benchmark trajectory file.
+# BENCH_BASELINE is the benchmark trajectory file bench-json writes and
+# bench-compare diffs against; the committed default was recorded on the
+# reference machine (see its go_version/gomaxprocs header).
+BENCH_BASELINE ?= BENCH_2.json
+
+# bench-json regenerates the benchmark trajectory file.
 bench-json:
-	$(GO) run ./cmd/bench -out BENCH_1.json
+	$(GO) run ./cmd/bench -out $(BENCH_BASELINE)
+
+# bench-compare measures the current tree and fails on >20% ns/op
+# regressions of any hot-loop benchmark versus the committed trajectory.
+# The comparison is absolute ns/op, so it is only meaningful on hardware
+# comparable to the machine that recorded the baseline. On a slower box,
+# record a local baseline first (make bench-json BENCH_BASELINE=/tmp/b.json
+# then make ci BENCH_BASELINE=/tmp/b.json) or skip this target.
+bench-compare:
+	$(GO) run ./cmd/bench -out /tmp/bench_head.json -compare $(BENCH_BASELINE)
 
 clean:
 	$(GO) clean ./...

@@ -256,6 +256,31 @@ func BenchmarkFullFlood2k(b *testing.B) {
 	}
 }
 
+// benchSweepTrialsE03 measures Monte-Carlo trial throughput at the E03
+// quick point (n=800, largest sweep radius R=16, v=0.1, 8 trials per op)
+// through the production floodTrials fan-out; see also cmd/bench's
+// sweep_trials_e03 entries.
+func benchSweepTrialsE03(b *testing.B, pooled bool) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		completed, err := experiments.SweepTrials(800, 8, 20000, 16, uint64(i)+1, pooled)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if completed == 0 {
+			b.Fatal("no trial completed")
+		}
+	}
+}
+
+// BenchmarkSweepTrialsE03 is the pooled (production) trial sweep.
+func BenchmarkSweepTrialsE03(b *testing.B) { benchSweepTrialsE03(b, true) }
+
+// BenchmarkSweepTrialsE03Fresh is the unpooled ablation: a fresh world and
+// flood per trial. The gap to BenchmarkSweepTrialsE03 is the pooling win.
+func BenchmarkSweepTrialsE03Fresh(b *testing.B) { benchSweepTrialsE03(b, false) }
+
 // BenchmarkStationaryInit10k measures perfect-simulation initialization of
 // 10000 agents.
 func BenchmarkStationaryInit10k(b *testing.B) {

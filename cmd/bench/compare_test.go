@@ -1,0 +1,66 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func report(entries map[string]float64) Report {
+	var rep Report
+	for name, ns := range entries {
+		rep.Results = append(rep.Results, Result{Name: name, NsPerOp: ns})
+	}
+	return rep
+}
+
+// The compare gate must flag only benchmarks that regressed beyond the
+// threshold, ignore entries missing from either side, and tolerate zero
+// (unmeasured) values.
+func TestCompareReports(t *testing.T) {
+	old := report(map[string]float64{
+		"a": 1000, // improves
+		"b": 1000, // regresses 10% — inside the budget
+		"c": 1000, // regresses 30% — flagged
+		"d": 1000, // missing from the new run
+		"z": 0,    // unmeasured baseline
+	})
+	cur := report(map[string]float64{
+		"a": 500,
+		"b": 1100,
+		"c": 1300,
+		"e": 777, // new benchmark, no baseline
+		"z": 123,
+	})
+	var sb strings.Builder
+	if got := compareReports(&sb, old, cur); got != 1 {
+		t.Fatalf("regressions = %d, want 1\noutput:\n%s", got, sb.String())
+	}
+	out := sb.String()
+	for _, line := range strings.Split(out, "\n") {
+		flagged := strings.Contains(line, "REGRESSION")
+		isC := strings.HasPrefix(line, "compare c")
+		if flagged != isC {
+			t.Fatalf("only benchmark c may be flagged:\n%s", out)
+		}
+	}
+	if strings.Contains(out, "compare e") {
+		t.Fatalf("benchmark without baseline must be skipped:\n%s", out)
+	}
+}
+
+// Exactly at the threshold is not a regression (strictly-greater gate).
+func TestCompareReportsThresholdInclusive(t *testing.T) {
+	old := report(map[string]float64{"a": 1000})
+	cur := report(map[string]float64{"a": 1000 * maxRegression})
+	if got := compareReports(io.Discard, old, cur); got != 0 {
+		t.Fatalf("ratio exactly %.2f must pass, got %d regressions", maxRegression, got)
+	}
+}
+
+// loadReport must round-trip the committed trajectory file format.
+func TestLoadReportMissing(t *testing.T) {
+	if _, err := loadReport("/nonexistent/bench.json"); err == nil {
+		t.Fatal("want error for missing compare file")
+	}
+}

@@ -4,19 +4,22 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_1.json]
+//	bench [-out BENCH_2.json] [-compare OLD.json]
 //
 // Each entry reports ns/op, B/op and allocs/op as measured by
-// testing.Benchmark. The committed BENCH_1.json also carries the seed
-// engine's numbers (bucket-of-slices index, O(n)-rescan flooding) as
-// baseline_ns_per_op for the benchmarks that existed before the CSR +
-// frontier rewrite.
+// testing.Benchmark. With -compare the run is diffed against a previously
+// committed trajectory file: any benchmark present in both whose ns/op
+// regressed by more than 20% fails the run (non-zero exit), which is the
+// CI regression gate (`make ci`). The committed BENCH_1.json carries the
+// seed engine's numbers as baseline_ns_per_op; BENCH_2.json is the
+// SoA-engine trajectory this gate compares against.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/rand/v2"
 	"os"
@@ -25,6 +28,7 @@ import (
 	"time"
 
 	"manhattanflood/internal/core"
+	"manhattanflood/internal/experiments"
 	"manhattanflood/internal/geom"
 	"manhattanflood/internal/sim"
 	"manhattanflood/internal/spatialindex"
@@ -43,7 +47,7 @@ type Result struct {
 	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
 }
 
-// Report is the file layout of BENCH_1.json.
+// Report is the file layout of BENCH_N.json.
 type Report struct {
 	Schema     string   `json:"schema"`
 	GoVersion  string   `json:"go_version"`
@@ -64,8 +68,12 @@ var baselines = map[string]float64{
 	"index_neighbors_10k":   1145,
 }
 
+// maxRegression is the tolerated ns/op growth versus the -compare file.
+const maxRegression = 1.20
+
 func main() {
-	out := flag.String("out", "BENCH_1.json", "output JSON path")
+	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	compare := flag.String("compare", "", "previously committed BENCH_N.json to diff against; >20% ns/op regressions exit non-zero")
 	flag.Parse()
 
 	benches := []struct {
@@ -79,6 +87,8 @@ func main() {
 		{"index_rebuild_10k", benchIndexRebuild(10000)},
 		{"index_neighbors_10k", benchIndexNeighbors(10000)},
 		{"full_flood_2k", benchFullFlood(2000)},
+		{"sweep_trials_e03", benchSweepTrials(true)},
+		{"sweep_trials_e03_fresh", benchSweepTrials(false)},
 	}
 
 	rep := Report{
@@ -104,13 +114,69 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *compare != "" {
+		old, err := loadReport(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		regressions := compareReports(os.Stdout, old, rep)
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "bench: %d benchmark(s) regressed more than %.0f%% vs %s\n",
+				regressions, (maxRegression-1)*100, *compare)
+			os.Exit(1)
+		}
+		fmt.Printf("compare vs %s: ok (no hot-loop benchmark regressed more than %.0f%%)\n",
+			*compare, (maxRegression-1)*100)
+	}
+}
+
+// loadReport reads a committed trajectory file.
+func loadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, fmt.Errorf("bench: reading compare file: %w", err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compareReports prints the old-vs-new table for benchmarks present in
+// both reports and returns how many regressed beyond maxRegression.
+func compareReports(w io.Writer, old, cur Report) int {
+	oldByName := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		oldByName[r.Name] = r
+	}
+	regressions := 0
+	for _, r := range cur.Results {
+		o, ok := oldByName[r.Name]
+		if !ok || o.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / o.NsPerOp
+		verdict := "ok"
+		if ratio > maxRegression {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "compare %-24s %12.0f -> %12.0f ns/op  (%.2fx)  %s\n",
+			r.Name, o.NsPerOp, r.NsPerOp, ratio, verdict)
+	}
+	return regressions
 }
 
 func runBench(fn func(b *testing.B)) Result {
@@ -220,6 +286,27 @@ func benchFullFlood(n int) func(b *testing.B) {
 			}
 			if _, err := f.Run(100000); err != nil {
 				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchSweepTrials measures Monte-Carlo trial throughput at the E03 quick
+// point (n=800, L=sqrt(n), the sweep's largest radius R=16, v=0.1, central
+// source, 8 trials per op) through the production floodTrials fan-out.
+// pooled=true is the shipped path (one world+flood per worker, Reset
+// between trials); pooled=false constructs fresh pairs per trial — the
+// pair of entries records the throughput gain of pooling.
+func benchSweepTrials(pooled bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		const trials = 8
+		for i := 0; i < b.N; i++ {
+			completed, err := experiments.SweepTrials(800, trials, 20000, 16, uint64(i)+1, pooled)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if completed == 0 {
+				b.Fatal("no trial completed")
 			}
 		}
 	}

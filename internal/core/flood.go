@@ -12,27 +12,39 @@
 // # Frontier engine
 //
 // Flooding.Step is frontier-based rather than a full O(n) rescan. The
-// engine keeps the uninformed agents as an explicit id list (ascending), so
-// the per-step sweep shrinks with the frontier — in the paper's second
-// phase (Theorem 3's Suburb phase, when almost every agent is informed) a
-// step costs O(#uninformed), not O(n). For each candidate it walks the
-// CSR row spans of its 3x3 bucket block directly (no per-candidate
-// closures) and consults a per-bucket uninformed-occupancy count first: a
-// grid row whose occupants are all uninformed cannot contain a transmitter
-// and is skipped without a single distance test, which prunes nearly the
-// whole sweep in the early phase when the informed set is small.
+// engine keeps the uninformed agents as an explicit id list plus a
+// per-bucket uninformed-occupancy count, and sweeps candidates in CSR
+// bucket order: a bucket with no uninformed occupant is skipped with one
+// counter load, and for the rest the 3x3 block geometry — block bounds,
+// the three contiguous row spans, and the row-level occupancy skip (a grid
+// row whose occupants are all uninformed cannot contain a transmitter) —
+// is hoisted and computed once per bucket, since every candidate of a
+// bucket shares it. Candidate coordinates stream out of the index's
+// structure-of-arrays CSR slices sequentially; no 16-byte geom.Point is
+// ever loaded in the inner loop. In the paper's second phase (Theorem 3's
+// Suburb phase, when almost every agent is informed) a step costs
+// O(cells + #uninformed * blocksize), not O(n).
 //
-// With Params.Workers > 1 the sweep is sharded over contiguous ranges of
-// the uninformed list onto that many goroutines. Workers only read shared
-// state and append hits to per-worker buffers; the buffers are concatenated
-// in shard order, which is exactly ascending id order, so the result is
+// The ids that hear a transmitter are collected in bucket-major order —
+// deterministic, though not ascending; all downstream state (informed
+// flags, counts, series, zone tracking) is order-independent.
+//
+// With Params.Workers > 1 the sweep is sharded over contiguous bucket
+// ranges onto that many goroutines. Workers only read shared state and
+// append hits to per-worker buffers; the buffers are concatenated in shard
+// order, which is exactly the sequential bucket order, so the result is
 // bit-identical to the sequential sweep.
 //
 // The WithinStepChaining ablation is a BFS from the step's newly informed
 // frontier instead of repeated full rescans: each dequeued agent scans its
 // 3x3 block for uninformed neighbors, informs them, and enqueues them. The
 // fixed point is the same epidemic closure the naive iteration computes,
-// with each agent processed once.
+// with each agent processed once. With Workers > 1 the BFS advances in
+// frontier-synchronized levels: each level is sharded over the workers,
+// per-worker hit buffers are merged in shard order and deduplicated as
+// agents are marked, and the next level is the merged frontier — the same
+// fixed point (and therefore bit-identical results), with the block scans
+// of one level running concurrently.
 package core
 
 import (
@@ -59,9 +71,10 @@ type Flooding struct {
 	series       []int
 	recordSeries bool
 
-	newlyInformed []int32   // scratch: ids informed by this step's round, ascending
+	newlyInformed []int32   // scratch: ids informed by this step's round, bucket-major (deterministic, not sorted)
 	bucketUninf   []int32   // scratch: per-bucket uninformed occupancy
-	queue         []int32   // scratch: chaining BFS queue
+	queue         []int32   // scratch: chaining BFS queue / current level
+	level         []int32   // scratch: next chaining BFS level (parallel mode)
 	shards        [][]int32 // scratch: per-worker hit buffers
 }
 
@@ -102,24 +115,46 @@ func NewFlooding(w *sim.World, source int, opts ...FloodOption) (*Flooding, erro
 		w:          w,
 		informed:   make([]bool, w.N()),
 		uninformed: make([]int32, 0, w.N()-1),
-		count:      1,
-		source:     source,
-		czTime:     -1,
-	}
-	f.informed[source] = true
-	for i := 0; i < w.N(); i++ {
-		if i != source {
-			f.uninformed = append(f.uninformed, int32(i))
-		}
 	}
 	for _, o := range opts {
 		o(f)
 	}
+	f.reset(source)
+	return f, nil
+}
+
+// Reset restarts the flooding process from scratch with the given source,
+// reusing every internal buffer: only that agent is informed, the series
+// restarts, and zone tracking re-arms. It is the pooling companion of
+// sim.World.Reset — call it after resetting (or otherwise re-preparing)
+// the world, and the pair behaves bit-identically to a freshly constructed
+// World + Flooding. The option set (chaining, partition, series) carries
+// over from construction.
+func (f *Flooding) Reset(source int) error {
+	if source < 0 || source >= f.w.N() {
+		return fmt.Errorf("core: source %d out of range [0, %d)", source, f.w.N())
+	}
+	f.reset(source)
+	return nil
+}
+
+func (f *Flooding) reset(source int) {
+	clear(f.informed)
+	f.informed[source] = true
+	f.source = source
+	f.count = 1
+	f.czTime = -1
+	f.uninformed = f.uninformed[:0]
+	for i := 0; i < f.w.N(); i++ {
+		if i != source {
+			f.uninformed = append(f.uninformed, int32(i))
+		}
+	}
+	f.series = f.series[:0]
 	if f.recordSeries {
 		f.series = append(f.series, 1)
 	}
 	f.updateCZ()
-	return f, nil
 }
 
 // Source returns the source agent id.
@@ -147,7 +182,6 @@ func (f *Flooding) CZInformedTime() int { return f.czTime }
 func (f *Flooding) Step() int {
 	f.w.Step()
 	ix := f.w.Index()
-	pos := f.w.Positions()
 
 	// Per-bucket uninformed occupancy: a bucket row whose population is
 	// entirely uninformed cannot contain a transmitter.
@@ -163,9 +197,9 @@ func (f *Flooding) Step() int {
 	f.newlyInformed = f.newlyInformed[:0]
 	workers := f.w.Params().Workers
 	if workers > 1 && len(f.uninformed) >= 2*workers {
-		f.sweepParallel(ix, pos, workers)
+		f.sweepParallel(ix, workers)
 	} else {
-		f.newlyInformed = f.sweep(ix, pos, f.uninformed, f.newlyInformed)
+		f.newlyInformed = f.sweep(ix, 0, ix.NumCells(), f.newlyInformed)
 	}
 	for _, i := range f.newlyInformed {
 		f.informed[i] = true
@@ -174,7 +208,7 @@ func (f *Flooding) Step() int {
 	newly := len(f.newlyInformed)
 
 	if f.chainWithin && newly > 0 {
-		newly += f.chainClosure(ix, pos)
+		newly += f.chainClosure(ix)
 	}
 
 	if newly > 0 {
@@ -187,70 +221,119 @@ func (f *Flooding) Step() int {
 	return newly
 }
 
-// sweep runs one transmission round over the candidate uninformed ids,
-// appending the ids that hear a transmitter to dst (in candidate order). It
-// only reads shared state, so shards may run it concurrently.
-func (f *Flooding) sweep(ix *spatialindex.Index, pos []geom.Point, cand []int32, dst []int32) []int32 {
+// sweep runs one transmission round over the uninformed occupants of
+// buckets [c0, c1), appending the ids that hear a transmitter to dst in
+// CSR (bucket-major) order. It only reads shared state, so shards may run
+// it concurrently over disjoint bucket ranges.
+//
+// Iterating candidates bucket by bucket instead of down the uninformed id
+// list is what makes the sweep cheap: every candidate in a bucket shares
+// the same 3x3 block, so the block bounds, the three row spans and the
+// per-row occupancy skip are computed once per bucket instead of once per
+// candidate, candidate coordinates stream out of the CSR slices
+// sequentially, and a bucket with no uninformed occupant is skipped with a
+// single counter load.
+func (f *Flooding) sweep(ix *spatialindex.Index, c0, c1 int, dst []int32) []int32 {
 	r := ix.Radius()
 	r2 := r * r
 	cols := ix.Cols()
-	for _, i := range cand {
-		p := pos[i]
-		x0, x1, y0, y1 := ix.BlockBounds(p)
-		found := false
-		for by := y0; by <= y1; by++ {
-			row := ix.RowSpan(by, x0, x1)
-			if len(row) == 0 {
+	ids, cxs, cys := ix.CSR()
+	informed := f.informed
+	bucketUninf := f.bucketUninf
+	var rowLo, rowHi [3]int32
+	for c := c0; c < c1; c++ {
+		if bucketUninf[c] == 0 {
+			continue
+		}
+		lo, hi := ix.CellSpanBounds(c)
+		// Hoist the block geometry: all candidates in bucket c share it.
+		x0, x1, y0, y1 := ix.BlockBoundsCell(c)
+		// Keep only rows that contain at least one informed agent
+		// (occupancy skip, hoisted): all-uninformed rows have no
+		// transmitter for any candidate of this bucket.
+		nrows := 0
+		for yy := y0; yy <= y1; yy++ {
+			rlo, rhi := ix.RowSpanBounds(yy, x0, x1)
+			if rlo == rhi {
 				continue
 			}
-			// Occupancy skip: all-uninformed rows have no transmitter.
 			uninf := int32(0)
-			base := by * cols
-			for bx := x0; bx <= x1; bx++ {
-				uninf += f.bucketUninf[base+bx]
+			base := yy * cols
+			for xx := x0; xx <= x1; xx++ {
+				uninf += bucketUninf[base+xx]
 			}
-			if int(uninf) == len(row) {
+			if uninf == rhi-rlo {
 				continue
 			}
-			for _, j := range row {
-				if f.informed[j] && pos[j].Dist2(p) <= r2 {
-					found = true
-					break
+			rowLo[nrows], rowHi[nrows] = rlo, rhi
+			nrows++
+		}
+		if nrows == 0 {
+			continue
+		}
+		for k := lo; k < hi; k++ {
+			id := ids[k]
+			if informed[id] {
+				continue
+			}
+			px, py := cxs[k], cys[k]
+			found := false
+			for ri := 0; ri < nrows && !found; ri++ {
+				rowIDs := ids[rowLo[ri]:rowHi[ri]]
+				rowX := cxs[rowLo[ri]:rowHi[ri]:rowHi[ri]]
+				rowY := cys[rowLo[ri]:rowHi[ri]:rowHi[ri]]
+				for j, jid := range rowIDs {
+					// Informed first: near the frontier whole runs of a
+					// row share the answer, so this branch predicts
+					// well; the distance test is then one branch of
+					// pipelined FP math on the two sequential
+					// coordinate streams.
+					if !informed[jid] {
+						continue
+					}
+					dx := rowX[j] - px
+					dy := rowY[j] - py
+					if dx*dx+dy*dy <= r2 {
+						found = true
+						break
+					}
 				}
 			}
 			if found {
-				break
+				dst = append(dst, id)
 			}
-		}
-		if found {
-			dst = append(dst, i)
 		}
 	}
 	return dst
 }
 
-// sweepParallel shards the uninformed sweep over contiguous id ranges. The
-// shard buffers are concatenated in shard order — ascending id order — so
-// the merged result is bit-identical to the sequential sweep.
-func (f *Flooding) sweepParallel(ix *spatialindex.Index, pos []geom.Point, workers int) {
-	n := len(f.uninformed)
-	chunk := (n + workers - 1) / workers
+// ensureShards sizes the per-worker hit buffers.
+func (f *Flooding) ensureShards(workers int) {
 	if len(f.shards) < workers {
 		f.shards = append(f.shards, make([][]int32, workers-len(f.shards))...)
 	}
+}
+
+// sweepParallel shards the sweep over contiguous bucket ranges. The shard
+// buffers are concatenated in shard order — bucket-major order — so the
+// merged result is bit-identical to the sequential sweep.
+func (f *Flooding) sweepParallel(ix *spatialindex.Index, workers int) {
+	m := ix.NumCells()
+	chunk := (m + workers - 1) / workers
+	f.ensureShards(workers)
 	var wg sync.WaitGroup
 	nsh := 0
-	for start := 0; start < n; start += chunk {
+	for start := 0; start < m; start += chunk {
 		end := start + chunk
-		if end > n {
-			end = n
+		if end > m {
+			end = m
 		}
 		sh := nsh
 		nsh++
 		wg.Add(1)
 		go func(sh, lo, hi int) {
 			defer wg.Done()
-			f.shards[sh] = f.sweep(ix, pos, f.uninformed[lo:hi], f.shards[sh][:0])
+			f.shards[sh] = f.sweep(ix, lo, hi, f.shards[sh][:0])
 		}(sh, start, end)
 	}
 	wg.Wait()
@@ -259,29 +342,133 @@ func (f *Flooding) sweepParallel(ix *spatialindex.Index, pos []geom.Point, worke
 	}
 }
 
-// chainClosure computes the within-step epidemic closure by BFS from the
-// step's newly informed frontier, returning how many agents were chained
-// in. Each dequeued transmitter scans its 3x3 block once; the fixed point
-// equals the naive repeat-until-no-change closure.
-func (f *Flooding) chainClosure(ix *spatialindex.Index, pos []geom.Point) int {
+// chainClosure computes the within-step epidemic closure from the step's
+// newly informed frontier, returning how many agents were chained in. The
+// fixed point equals the naive repeat-until-no-change closure. With
+// Workers > 1 (and a large enough frontier) it runs as a
+// frontier-synchronized parallel BFS; both modes reach the same closure,
+// so results are bit-identical.
+func (f *Flooding) chainClosure(ix *spatialindex.Index) int {
+	workers := f.w.Params().Workers
+	if workers > 1 && len(f.newlyInformed) >= 2*workers {
+		return f.chainClosureParallel(ix, workers)
+	}
 	r := ix.Radius()
 	r2 := r * r
-	f.queue = append(f.queue[:0], f.newlyInformed...)
+	xs, ys := ix.XS(), ix.YS()
+	// Locals so the in-loop queue append cannot alias f's fields and force
+	// per-iteration reloads of the informed slice header.
+	informed := f.informed
+	queue := append(f.queue[:0], f.newlyInformed...)
 	chained := 0
-	for qi := 0; qi < len(f.queue); qi++ {
-		j := f.queue[qi]
-		p := pos[j]
-		x0, x1, y0, y1 := ix.BlockBounds(p)
+	for qi := 0; qi < len(queue); qi++ {
+		j := queue[qi]
+		px, py := xs[j], ys[j]
+		x0, x1, y0, y1 := ix.BlockBoundsXY(px, py)
 		for by := y0; by <= y1; by++ {
-			for _, k := range ix.RowSpan(by, x0, x1) {
-				if !f.informed[k] && pos[k].Dist2(p) <= r2 {
-					f.informed[k] = true
-					f.queue = append(f.queue, k)
+			for _, id := range ix.RowSpan(by, x0, x1) {
+				// Uninformed first: in the chained regime almost every
+				// scanned agent is already informed, so this predicts
+				// well and skips the FP work entirely.
+				if informed[id] {
+					continue
+				}
+				dx := xs[id] - px
+				dy := ys[id] - py
+				if dx*dx+dy*dy <= r2 {
+					informed[id] = true
+					queue = append(queue, id)
 					chained++
 				}
 			}
 		}
 	}
+	f.queue = queue
+	f.count += chained
+	return chained
+}
+
+// chainScan appends to dst every uninformed agent within radius of a
+// transmitter in level[lo:hi]. It only reads shared state (duplicates are
+// fine; the merge deduplicates), so level shards may run concurrently.
+func (f *Flooding) chainScan(ix *spatialindex.Index, level []int32, dst []int32) []int32 {
+	r := ix.Radius()
+	r2 := r * r
+	xs, ys := ix.XS(), ix.YS()
+	informed := f.informed
+	for _, j := range level {
+		px, py := xs[j], ys[j]
+		x0, x1, y0, y1 := ix.BlockBoundsXY(px, py)
+		for by := y0; by <= y1; by++ {
+			for _, id := range ix.RowSpan(by, x0, x1) {
+				if informed[id] {
+					continue
+				}
+				dx := xs[id] - px
+				dy := ys[id] - py
+				if dx*dx+dy*dy <= r2 {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// chainClosureParallel advances the chaining BFS in frontier-synchronized
+// levels: the current level is sharded over the workers, which only read
+// the informed set and emit hit candidates; the merged candidates are then
+// marked serially (in shard order, deduplicating on the informed bit) and
+// become the next level. Each level is a barrier, so no goroutine ever
+// observes a half-written informed set, and the fixed point — hence the
+// final informed set and count — is identical to the sequential BFS.
+func (f *Flooding) chainClosureParallel(ix *spatialindex.Index, workers int) int {
+	f.ensureShards(workers)
+	level := append(f.queue[:0], f.newlyInformed...)
+	next := f.level[:0]
+	chained := 0
+	for len(level) > 0 {
+		next = next[:0]
+		if len(level) >= 2*workers {
+			chunk := (len(level) + workers - 1) / workers
+			var wg sync.WaitGroup
+			nsh := 0
+			for start := 0; start < len(level); start += chunk {
+				end := start + chunk
+				if end > len(level) {
+					end = len(level)
+				}
+				sh := nsh
+				nsh++
+				wg.Add(1)
+				go func(sh, lo, hi int) {
+					defer wg.Done()
+					f.shards[sh] = f.chainScan(ix, level[lo:hi], f.shards[sh][:0])
+				}(sh, start, end)
+			}
+			wg.Wait()
+			for s := 0; s < nsh; s++ {
+				for _, id := range f.shards[s] {
+					if !f.informed[id] {
+						f.informed[id] = true
+						next = append(next, id)
+						chained++
+					}
+				}
+			}
+		} else {
+			f.shards[0] = f.chainScan(ix, level, f.shards[0][:0])
+			for _, id := range f.shards[0] {
+				if !f.informed[id] {
+					f.informed[id] = true
+					next = append(next, id)
+					chained++
+				}
+			}
+		}
+		level, next = next, level
+	}
+	f.queue, f.level = level, next
 	f.count += chained
 	return chained
 }
@@ -305,9 +492,9 @@ func (f *Flooding) updateCZ() {
 	if f.part == nil || f.czTime >= 0 {
 		return
 	}
-	pos := f.w.Positions()
+	xs, ys := f.w.X(), f.w.Y()
 	for _, i := range f.uninformed {
-		if f.part.IsCentralPoint(pos[i]) {
+		if f.part.IsCentralPoint(geom.Point{X: xs[i], Y: ys[i]}) {
 			return
 		}
 	}

@@ -74,40 +74,83 @@ func (r *refFlood) step() int {
 	return newly
 }
 
-// The frontier engine (occupancy-skip sweep + BFS chaining closure) must
-// produce bit-identical informed sets to the brute-force reference flood,
-// step by step, across seeds, population sizes, and the chaining ablation.
+// The frontier engine (occupancy-skip bucket sweep + BFS chaining closure)
+// must produce bit-identical informed sets to the brute-force AoS
+// reference flood, step by step, across seeds, population sizes, the
+// chaining ablation, parallel stepping/sweeping, and the pooled
+// (World.Reset + Flooding.Reset) construction path.
 func TestFrontierMatchesBruteReference(t *testing.T) {
 	cases := []struct {
-		n     int
-		seed  uint64
-		chain bool
+		n       int
+		seed    uint64
+		chain   bool
+		workers int
+		pooled  bool
 	}{
-		{60, 1, false},
-		{60, 1, true},
-		{200, 2, false},
-		{200, 2, true},
-		{500, 3, false},
-		{500, 3, true},
-		{200, 99, false},
-		{200, 99, true},
+		{60, 1, false, 0, false},
+		{60, 1, true, 0, false},
+		{200, 2, false, 0, false},
+		{200, 2, true, 0, false},
+		{500, 3, false, 0, false},
+		{500, 3, true, 0, false},
+		{200, 99, false, 0, false},
+		{200, 99, true, 0, false},
+		{300, 4, false, 3, false},
+		{300, 4, true, 3, false},
+		{300, 5, false, 0, true},
+		{300, 5, true, 0, true},
+		{300, 6, false, 3, true},
 	}
 	for _, tc := range cases {
-		p := sim.Params{N: tc.n, L: 25, R: 3, V: 0.4, Seed: tc.seed}
-		w, err := sim.NewWorld(p, nil)
-		if err != nil {
-			t.Fatal(err)
+		p := sim.Params{N: tc.n, L: 25, R: 3, V: 0.4, Seed: tc.seed, Workers: tc.workers}
+		var w *sim.World
+		var f *Flooding
+		var err error
+		var source int
+		if tc.pooled {
+			// Build the engine at a decoy seed, dirty it, then Reset to
+			// the target seed: the pooled pair must match the reference
+			// exactly like a fresh pair.
+			dp := p
+			dp.Seed = p.Seed + 0xdecade
+			w, err = sim.NewWorld(dp, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var opts []FloodOption
+			if tc.chain {
+				opts = append(opts, WithinStepChaining(true))
+			}
+			f, err = NewFlooding(w, 0, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := 0; s < 25 && !f.Done(); s++ {
+				f.Step()
+			}
+			w.Reset(p.Seed)
+			source = w.NearestAgent(geom.Pt(p.L/2, p.L/2))
+			if err := f.Reset(source); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			w, err = sim.NewWorld(p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			source = w.NearestAgent(geom.Pt(p.L/2, p.L/2))
+			var opts []FloodOption
+			if tc.chain {
+				opts = append(opts, WithinStepChaining(true))
+			}
+			f, err = NewFlooding(w, source, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
 		}
-		source := w.NearestAgent(geom.Pt(p.L/2, p.L/2))
-		var opts []FloodOption
-		if tc.chain {
-			opts = append(opts, WithinStepChaining(true))
-		}
-		f, err := NewFlooding(w, source, opts...)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ref := newRefFlood(t, p, source, tc.chain)
+		refP := p
+		refP.Workers = 0 // the reference is always sequential
+		ref := newRefFlood(t, refP, source, tc.chain)
 
 		for s := 0; s < 400 && !f.Done(); s++ {
 			got := f.Step()

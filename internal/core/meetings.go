@@ -6,6 +6,7 @@ import (
 
 	"manhattanflood/internal/cells"
 	"manhattanflood/internal/sim"
+	"manhattanflood/internal/spatialindex"
 )
 
 // MeetingReport measures the mechanism behind Lemma 16: every agent
@@ -64,20 +65,30 @@ func MeasureMeetings(w *sim.World, part *cells.Partition, maxSteps int) (Meeting
 
 	check := func(step int) {
 		ix := w.Index()
-		pos := w.Positions()
-		var rows [3][]int32
+		xs, ys := ix.XS(), ix.YS()
+		var spans [3]spatialindex.Span
 		for _, i := range suburb {
 			if met[i] {
 				continue
 			}
-			p := pos[i]
+			px, py := xs[i], ys[i]
 			found := false
 			// The neighbor index radius is R >= (3/4)R, so filter by the
-			// meeting distance while walking the block's CSR row spans.
-			nr := ix.BlockRows(p, &rows)
+			// meeting distance while streaming the block's CSR coordinate
+			// spans (reject on |dx| before touching Y).
+			nr := ix.BlockSpans(px, py, &spans)
 			for ri := 0; ri < nr && !found; ri++ {
-				for _, j := range rows[ri] {
-					if j != i && fromCZ[j] && pos[j].Dist2(p) <= meetR2 {
+				s := spans[ri]
+				for k, j := range s.IDs {
+					dx := s.XS[k] - px
+					if dx > meetR || dx < -meetR {
+						continue
+					}
+					if j == i || !fromCZ[j] {
+						continue
+					}
+					dy := s.YS[k] - py
+					if dx*dx+dy*dy <= meetR2 {
 						found = true
 						break
 					}

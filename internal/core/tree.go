@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"manhattanflood/internal/sim"
+	"manhattanflood/internal/spatialindex"
 )
 
 // TreeFlooding is plain flooding instrumented with the infection tree: for
@@ -21,6 +22,12 @@ type TreeFlooding struct {
 	source   int
 	parent   []int32
 	when     []int32
+	hits     []treeHit // scratch: this step's (child, parent) pairs
+}
+
+// treeHit is one newly informed agent and its chosen parent.
+type treeHit struct {
+	child, parent int32
 }
 
 // NewTreeFlooding creates an instrumented flooding process with the given
@@ -73,33 +80,33 @@ func (f *TreeFlooding) InformedAt(i int) int { return int(f.when[i]) }
 func (f *TreeFlooding) Step() int {
 	f.w.Step()
 	ix := f.w.Index()
-	pos := f.w.Positions()
 	r2 := ix.Radius() * ix.Radius()
 	now := int32(f.w.Time())
-	type hit struct {
-		child, parent int32
-	}
-	var newly []hit
-	var rows [3][]int32
+	xs, ys := ix.XS(), ix.YS()
+	newly := f.hits[:0]
+	var spans [3]spatialindex.Span
 	for i := range f.informed {
 		if f.informed[i] {
 			continue
 		}
-		p := pos[i]
+		px, py := xs[i], ys[i]
 		best, bestD := int32(-1), math.Inf(1)
-		nr := ix.BlockRows(p, &rows)
+		nr := ix.BlockSpans(px, py, &spans)
 		for ri := 0; ri < nr; ri++ {
-			for _, j := range rows[ri] {
+			s := spans[ri]
+			for k, j := range s.IDs {
 				if !f.informed[j] {
 					continue
 				}
-				if d := pos[j].Dist2(p); d <= r2 && (d < bestD || (d == bestD && j < best)) {
+				dx := s.XS[k] - px
+				dy := s.YS[k] - py
+				if d := dx*dx + dy*dy; d <= r2 && (d < bestD || (d == bestD && j < best)) {
 					best, bestD = j, d
 				}
 			}
 		}
 		if best >= 0 {
-			newly = append(newly, hit{child: int32(i), parent: best})
+			newly = append(newly, treeHit{child: int32(i), parent: best})
 		}
 	}
 	for _, h := range newly {
@@ -107,6 +114,7 @@ func (f *TreeFlooding) Step() int {
 		f.parent[h.child] = h.parent
 		f.when[h.child] = now
 	}
+	f.hits = newly
 	f.count += len(newly)
 	return len(newly)
 }

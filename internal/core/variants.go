@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"manhattanflood/internal/geom"
 	"manhattanflood/internal/sim"
+	"manhattanflood/internal/spatialindex"
 )
 
 // ParsimoniousFlooding is the probabilistic-forwarding variant studied by
@@ -18,6 +20,8 @@ type ParsimoniousFlooding struct {
 	rng      *rand.Rand
 	informed []bool
 	count    int
+	active   []bool  // scratch: who transmits this round
+	newly    []int32 // scratch: this round's hits
 	// Transmissions counts how many agent-transmissions were performed.
 	transmissions int64
 }
@@ -59,28 +63,42 @@ func (f *ParsimoniousFlooding) Done() bool { return f.count == f.w.N() }
 func (f *ParsimoniousFlooding) Step() int {
 	f.w.Step()
 	ix := f.w.Index()
-	pos := f.w.Positions()
-	r2 := ix.Radius() * ix.Radius()
+	r := ix.Radius()
+	r2 := r * r
 	// Decide which informed agents transmit this round.
-	active := make([]bool, len(f.informed))
+	if f.active == nil {
+		f.active = make([]bool, len(f.informed))
+	} else {
+		clear(f.active)
+	}
 	for i, inf := range f.informed {
 		if inf && f.rng.Float64() < f.p {
-			active[i] = true
+			f.active[i] = true
 			f.transmissions++
 		}
 	}
-	var newly []int32
-	var rows [3][]int32
+	xs, ys := ix.XS(), ix.YS()
+	newly := f.newly[:0]
+	var spans [3]spatialindex.Span
 	for i := range f.informed {
 		if f.informed[i] {
 			continue
 		}
-		p := pos[i]
-		nr := ix.BlockRows(p, &rows)
+		px, py := xs[i], ys[i]
+		nr := ix.BlockSpans(px, py, &spans)
 	scan:
 		for ri := 0; ri < nr; ri++ {
-			for _, j := range rows[ri] {
-				if active[j] && pos[j].Dist2(p) <= r2 {
+			s := spans[ri]
+			for k, j := range s.IDs {
+				// Active first: only a p-fraction of the informed
+				// transmit, so this skip predicts well and avoids the
+				// FP work for silent agents.
+				if !f.active[j] {
+					continue
+				}
+				dx := s.XS[k] - px
+				dy := s.YS[k] - py
+				if dx*dx+dy*dy <= r2 {
 					newly = append(newly, int32(i))
 					break scan
 				}
@@ -90,6 +108,7 @@ func (f *ParsimoniousFlooding) Step() int {
 	for _, i := range newly {
 		f.informed[i] = true
 	}
+	f.newly = newly
 	f.count += len(newly)
 	return len(newly)
 }
@@ -113,6 +132,8 @@ type KGossip struct {
 	informed []bool
 	count    int
 	scratch  []int
+	marked   []bool  // reusable bitmap: targets already picked this step
+	newly    []int32 // touched list: ids marked this step, in pick order
 }
 
 // NewKGossip creates the variant with fan-out k >= 1.
@@ -131,6 +152,7 @@ func NewKGossip(w *sim.World, source, k int, seed uint64) (*KGossip, error) {
 		k:        k,
 		rng:      rand.New(rand.NewPCG(seed, 0x905517)),
 		informed: make([]bool, w.N()),
+		marked:   make([]bool, w.N()),
 		count:    1,
 	}
 	g.informed[source] = true
@@ -144,18 +166,20 @@ func (g *KGossip) InformedCount() int { return g.count }
 func (g *KGossip) Done() bool { return g.count == g.w.N() }
 
 // Step advances the world and performs one gossip round, returning the
-// number of newly informed agents.
+// number of newly informed agents. The per-step duplicate-target filter is
+// a reusable bitmap plus a touched list (cleared id by id afterwards), so
+// a steady-state round performs zero allocations — the same discipline as
+// plain flooding.
 func (g *KGossip) Step() int {
 	g.w.Step()
 	ix := g.w.Index()
-	pos := g.w.Positions()
-	var newly []int32
-	marked := make(map[int32]bool)
+	xs, ys := ix.XS(), ix.YS()
+	newly := g.newly[:0]
 	for i, inf := range g.informed {
 		if !inf {
 			continue
 		}
-		g.scratch = ix.Neighbors(pos[i], i, g.scratch[:0])
+		g.scratch = ix.Neighbors(geom.Point{X: xs[i], Y: ys[i]}, i, g.scratch[:0])
 		// Reservoir-free selection: shuffle a copy of up to k targets.
 		cand := g.scratch
 		for pick := 0; pick < g.k && len(cand) > 0; pick++ {
@@ -163,15 +187,17 @@ func (g *KGossip) Step() int {
 			target := int32(cand[j])
 			cand[j] = cand[len(cand)-1]
 			cand = cand[:len(cand)-1]
-			if !g.informed[target] && !marked[target] {
-				marked[target] = true
+			if !g.informed[target] && !g.marked[target] {
+				g.marked[target] = true
 				newly = append(newly, target)
 			}
 		}
 	}
 	for _, i := range newly {
 		g.informed[i] = true
+		g.marked[i] = false
 	}
+	g.newly = newly
 	g.count += len(newly)
 	return len(newly)
 }

@@ -42,8 +42,9 @@ func E01SpatialDensity(cfg Config) (E01Result, error) {
 		return E01Result{}, err
 	}
 	for s := 0; s < steps; s++ {
-		for _, p := range w.Positions() {
-			g.Add(p.X, p.Y)
+		xs, ys := w.X(), w.Y()
+		for i := range xs {
+			g.Add(xs[i], ys[i])
 		}
 		w.Step()
 	}

@@ -76,8 +76,9 @@ func E08Connectivity(cfg Config) (E08Result, error) {
 
 			// Central Zone subgraph: agents currently in CZ cells only.
 			var czPts []geom.Point
-			for _, pos := range w.Positions() {
-				if part.IsCentralPoint(pos) {
+			xs, ys := w.X(), w.Y()
+			for i := range xs {
+				if pos := geom.Pt(xs[i], ys[i]); part.IsCentralPoint(pos) {
 					czPts = append(czPts, pos)
 				}
 			}

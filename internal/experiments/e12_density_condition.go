@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"manhattanflood/internal/cells"
+	"manhattanflood/internal/geom"
 	"manhattanflood/internal/sim"
 	"manhattanflood/internal/trace"
 )
@@ -75,7 +76,9 @@ func E12DensityCondition(cfg Config) (E12Result, error) {
 			}
 			// One pass over agents: bin into CZ cores.
 			counts := make([]int, tr.part.M()*tr.part.M())
-			for _, p := range w.Positions() {
+			xs, ys := w.X(), w.Y()
+			for i := range xs {
+				p := geom.Pt(xs[i], ys[i])
 				cx, cy := tr.part.CellOf(p)
 				if tr.part.IsCentral(cx, cy) && p.In(tr.part.CoreRect(cx, cy)) {
 					counts[cy*tr.part.M()+cx]++

@@ -51,8 +51,9 @@ func E13PerfectSim(cfg Config) (E13Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				for _, p := range w.Positions() {
-					g.Add(p.X, p.Y)
+				xs, ys := w.X(), w.Y()
+				for i := range xs {
+					g.Add(xs[i], ys[i])
 				}
 				_, _, l1 := g.CompareDensity(sp.Density)
 				out = append(out, l1)

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"manhattanflood/internal/cells"
+	"manhattanflood/internal/geom"
 	"manhattanflood/internal/sim"
 	"manhattanflood/internal/stats"
 	"manhattanflood/internal/trace"
@@ -65,8 +66,13 @@ func E18SnapshotDependence(cfg Config) (E18Result, error) {
 			return res, err
 		}
 		series := make([][]float64, len(tracked))
+		pts := make([]geom.Point, n) // reused point buffer for CountPerCell
 		for s := 0; s < horizon; s++ {
-			counts := part.CountPerCell(w.Positions())
+			xs, ys := w.X(), w.Y()
+			for i := range pts {
+				pts[i] = geom.Point{X: xs[i], Y: ys[i]}
+			}
+			counts := part.CountPerCell(pts)
 			for ci, c := range tracked {
 				series[ci] = append(series[ci], float64(counts[c[1]*part.M()+c[0]]))
 			}

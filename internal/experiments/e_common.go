@@ -36,8 +36,22 @@ const (
 // trials share nothing — and aggregates the results. When withPartition is
 // set, the Central Zone completion time and Suburb lag are tracked too.
 // Output is deterministic: per-trial results are keyed by trial index.
+//
+// Each worker pools one World and one Flooding across its trials: the
+// first trial constructs them, every following trial re-seeds the pair via
+// sim.World.Reset + core.Flooding.Reset, which is bit-identical to
+// constructing fresh ones (property-tested in the core suite) and removes
+// every per-trial allocation. Pooling is what lets the big sweeps (E03,
+// E04, E11) stop paying world-construction cost per Monte-Carlo trial.
 func floodTrials(p sim.Params, factory sim.ModelFactory, trials, maxSteps int,
 	src sourceKind, withPartition bool) (floodPoint, error) {
+	return floodTrialsOpt(p, factory, trials, maxSteps, src, withPartition, true)
+}
+
+// floodTrialsOpt is floodTrials with pooling switchable, so the benchmark
+// harness can measure the unpooled baseline through the identical fan-out.
+func floodTrialsOpt(p sim.Params, factory sim.ModelFactory, trials, maxSteps int,
+	src sourceKind, withPartition, pooled bool) (floodPoint, error) {
 	point := floodPoint{Trials: trials}
 	var part *cells.Partition
 	if withPartition {
@@ -59,8 +73,12 @@ func floodTrials(p sim.Params, factory sim.ModelFactory, trials, maxSteps int,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var pool trialPool
 			for trial := range next {
-				outcomes[trial] = runOneTrial(p, factory, part, trial, maxSteps, src)
+				if !pooled {
+					pool = trialPool{}
+				}
+				outcomes[trial] = pool.run(p, factory, part, trial, maxSteps, src)
 			}
 		}()
 	}
@@ -105,36 +123,74 @@ type trialOutcome struct {
 	err error
 }
 
-// runOneTrial executes a single seeded flooding run.
-func runOneTrial(p sim.Params, factory sim.ModelFactory, part *cells.Partition,
+// trialSeed derives trial t's world seed from the point's base seed.
+func trialSeed(base uint64, trial int) uint64 {
+	return base + uint64(trial)*0x9e3779b97f4a7c15
+}
+
+// trialPool is one worker's reusable World + Flooding pair.
+type trialPool struct {
+	w *sim.World
+	f *core.Flooding
+}
+
+// run executes a single seeded flooding run, reusing the pooled world and
+// flooding process when they exist.
+func (tp *trialPool) run(p sim.Params, factory sim.ModelFactory, part *cells.Partition,
 	trial, maxSteps int, src sourceKind) (out trialOutcome) {
-	wp := p
-	wp.Seed = p.Seed + uint64(trial)*0x9e3779b97f4a7c15
-	w, err := sim.NewWorld(wp, factory)
-	if err != nil {
-		out.err = err
-		return out
+	seed := trialSeed(p.Seed, trial)
+	if tp.w == nil {
+		wp := p
+		wp.Seed = seed
+		w, err := sim.NewWorld(wp, factory)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		tp.w = w
+	} else {
+		tp.w.Reset(seed)
 	}
 	var source int
 	switch src {
 	case sourceCentral:
-		source, _ = core.SourcePair(w)
+		source, _ = core.SourcePair(tp.w)
 	case sourceSuburb:
-		_, source = core.SourcePair(w)
+		_, source = core.SourcePair(tp.w)
 	default:
 		source = 0
 	}
-	var opts []core.FloodOption
-	if part != nil {
-		opts = append(opts, core.WithPartition(part))
-	}
-	f, err := core.NewFlooding(w, source, opts...)
-	if err != nil {
+	if tp.f == nil {
+		var opts []core.FloodOption
+		if part != nil {
+			opts = append(opts, core.WithPartition(part))
+		}
+		f, err := core.NewFlooding(tp.w, source, opts...)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		tp.f = f
+	} else if err := tp.f.Reset(source); err != nil {
 		out.err = err
 		return out
 	}
-	out.res, out.err = f.Run(maxSteps)
+	out.res, out.err = tp.f.Run(maxSteps)
 	return out
+}
+
+// SweepTrials runs an E03-style Monte-Carlo point — n agents on the
+// standard L = sqrt(n) square at the given radius, the sweep's slow speed
+// v = 0.1, central source, no partition — and returns how many of the
+// trials completed. With pooled set it exercises the production
+// floodTrials path (one World + Flooding per worker, Reset between
+// trials); with pooled unset every trial constructs a fresh pair. The two
+// modes produce identical results; the function exists so cmd/bench can
+// report the trial-throughput gain of pooling.
+func SweepTrials(n, trials, maxSteps int, r float64, seed uint64, pooled bool) (int, error) {
+	p := sim.Params{N: n, L: math.Sqrt(float64(n)), R: r, V: 0.1, Seed: seed}
+	point, err := floodTrialsOpt(p, nil, trials, maxSteps, sourceCentral, false, pooled)
+	return point.Completed, err
 }
 
 // secondPhaseScale returns the Theorem 3 second-phase regressor

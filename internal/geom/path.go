@@ -191,11 +191,35 @@ type CompiledPath struct {
 	// Leg1 and Leg2 are the headings of the two legs (HeadingNone for a
 	// degenerate leg).
 	Leg1, Leg2 Heading
+	// D1X/D1Y and D2X/D2Y are the unit direction components of the two
+	// legs (each is -1, 0 or +1; both zero on a degenerate leg). With
+	// them At(d) is pure multiply-add: axis-parallel legs advance by
+	// exactly the travelled distance, and a.Y + d*(-1) == a.Y - d
+	// bit-for-bit, so the cached form reproduces lerpAxis exactly.
+	D1X, D1Y, D2X, D2Y float64
+}
+
+// legDir returns the axis-parallel unit direction from a to b.
+func legDir(a, b Point) (dx, dy float64) {
+	switch {
+	case b.X > a.X:
+		return 1, 0
+	case b.X < a.X:
+		return -1, 0
+	case b.Y > a.Y:
+		return 0, 1
+	case b.Y < a.Y:
+		return 0, -1
+	default:
+		return 0, 0
+	}
 }
 
 // Compile caches the derived geometry of p.
 func Compile(p LPath) CompiledPath {
 	c := p.Corner()
+	d1x, d1y := legDir(p.Src, c)
+	d2x, d2y := legDir(c, p.Dst)
 	return CompiledPath{
 		LPath:    p,
 		CornerPt: c,
@@ -203,6 +227,10 @@ func Compile(p LPath) CompiledPath {
 		TotalLen: p.Src.ManhattanDist(p.Dst),
 		Leg1:     headingOf(p.Src, c),
 		Leg2:     headingOf(c, p.Dst),
+		D1X:      d1x,
+		D1Y:      d1y,
+		D2X:      d2x,
+		D2Y:      d2y,
 	}
 }
 
@@ -215,9 +243,10 @@ func (c *CompiledPath) At(d float64) Point {
 		return c.Dst
 	}
 	if d <= c.FirstLen {
-		return lerpAxis(c.Src, c.CornerPt, d)
+		return Point{c.Src.X + d*c.D1X, c.Src.Y + d*c.D1Y}
 	}
-	return lerpAxis(c.CornerPt, c.Dst, d-c.FirstLen)
+	u := d - c.FirstLen
+	return Point{c.CornerPt.X + u*c.D2X, c.CornerPt.Y + u*c.D2Y}
 }
 
 // HeadingAt is LPath.HeadingAt using the cached geometry.

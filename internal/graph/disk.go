@@ -11,63 +11,89 @@ import (
 // and two vertices are adjacent iff their Euclidean distance is at most the
 // radius — exactly the paper's communication graph G_t.
 type Disk struct {
-	pts    []geom.Point // the index's internal copy, in id order
+	xs, ys []float64 // the index's id-ordered coordinate copies
 	radius float64
 	index  *spatialindex.Index
 }
 
-// NewDisk builds the disk graph of pts over [0, side]^2 with the given
-// transmission radius. The pts slice is copied (by the index rebuild), so
-// the graph remains a consistent snapshot even if the caller mutates or
-// reuses pts afterwards — sim.World.Positions is reused in place across
-// steps, and held snapshots must not drift with it.
+// NewDiskXY builds the disk graph of the points (xs[i], ys[i]) over
+// [0, side]^2 with the given transmission radius. The coordinate slices
+// are copied (by the index rebuild), so the graph remains a consistent
+// snapshot even if the caller mutates or reuses them afterwards —
+// sim.World rewrites its X/Y slices in place across steps, and held
+// snapshots must not drift with it.
+func NewDiskXY(xs, ys []float64, side, radius float64) (*Disk, error) {
+	ix, err := spatialindex.New(side, radius)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	ix.RebuildXY(xs, ys)
+	return &Disk{xs: ix.XS(), ys: ix.YS(), radius: radius, index: ix}, nil
+}
+
+// NewDisk builds the disk graph of pts; the []geom.Point compatibility
+// wrapper around NewDiskXY, with the same snapshot guarantee.
 func NewDisk(pts []geom.Point, side, radius float64) (*Disk, error) {
 	ix, err := spatialindex.New(side, radius)
 	if err != nil {
 		return nil, fmt.Errorf("graph: %w", err)
 	}
 	ix.Rebuild(pts)
-	return &Disk{pts: ix.Points(), radius: radius, index: ix}, nil
+	return &Disk{xs: ix.XS(), ys: ix.YS(), radius: radius, index: ix}, nil
 }
 
 // Order returns the number of vertices.
-func (g *Disk) Order() int { return len(g.pts) }
+func (g *Disk) Order() int { return len(g.xs) }
+
+// point returns vertex i's position.
+func (g *Disk) point(i int) geom.Point { return geom.Point{X: g.xs[i], Y: g.ys[i]} }
 
 // Degree returns the degree of vertex i.
 func (g *Disk) Degree(i int) int {
-	return g.index.CountNeighbors(g.pts[i], i)
+	return g.index.CountNeighbors(g.point(i), i)
 }
 
 // AvgDegree returns the mean vertex degree (0 for the empty graph).
 func (g *Disk) AvgDegree() float64 {
-	if len(g.pts) == 0 {
+	if len(g.xs) == 0 {
 		return 0
 	}
 	var sum int
-	for i := range g.pts {
+	for i := range g.xs {
 		sum += g.Degree(i)
 	}
-	return float64(sum) / float64(len(g.pts))
+	return float64(sum) / float64(len(g.xs))
 }
 
 // Neighbors appends the neighbor ids of vertex i to dst.
 func (g *Disk) Neighbors(i int, dst []int) []int {
-	return g.index.Neighbors(g.pts[i], i, dst)
+	return g.index.Neighbors(g.point(i), i, dst)
 }
 
 // Components computes the connected components via union-find in
-// O(n + edges * alpha). The edge scan walks the CSR row spans directly.
+// O(n + edges * alpha). The edge scan streams the CSR coordinate spans,
+// rejecting on |dx| before touching Y.
 func (g *Disk) Components() *UnionFind {
-	u := NewUnionFind(len(g.pts))
-	r2 := g.radius * g.radius
-	var rows [3][]int32
-	for i := range g.pts {
-		p := g.pts[i]
-		nr := g.index.BlockRows(p, &rows)
+	u := NewUnionFind(len(g.xs))
+	r := g.radius
+	r2 := r * r
+	var spans [3]spatialindex.Span
+	for i := range g.xs {
+		px, py := g.xs[i], g.ys[i]
+		nr := g.index.BlockSpans(px, py, &spans)
 		for ri := 0; ri < nr; ri++ {
-			for _, j := range rows[ri] {
+			s := spans[ri]
+			for k, j := range s.IDs {
 				// Each undirected edge once.
-				if int(j) > i && g.pts[j].Dist2(p) <= r2 {
+				if int(j) <= i {
+					continue
+				}
+				dx := s.XS[k] - px
+				if dx > r || dx < -r {
+					continue
+				}
+				dy := s.YS[k] - py
+				if dx*dx+dy*dy <= r2 {
 					u.Union(i, int(j))
 				}
 			}
@@ -79,7 +105,7 @@ func (g *Disk) Components() *UnionFind {
 // IsConnected reports whether the graph is connected. The empty graph and
 // the single vertex count as connected.
 func (g *Disk) IsConnected() bool {
-	if len(g.pts) <= 1 {
+	if len(g.xs) <= 1 {
 		return true
 	}
 	return g.Components().Sets() == 1
@@ -88,7 +114,7 @@ func (g *Disk) IsConnected() bool {
 // GiantFraction returns the fraction of vertices in the largest connected
 // component (0 for the empty graph).
 func (g *Disk) GiantFraction() float64 {
-	n := len(g.pts)
+	n := len(g.xs)
 	if n == 0 {
 		return 0
 	}
@@ -105,7 +131,7 @@ func (g *Disk) GiantFraction() float64 {
 // BFSFrom returns hop distances from src to every vertex; unreachable
 // vertices get -1.
 func (g *Disk) BFSFrom(src int) ([]int, error) {
-	n := len(g.pts)
+	n := len(g.xs)
 	if src < 0 || src >= n {
 		return nil, fmt.Errorf("graph: source %d out of range [0, %d)", src, n)
 	}
@@ -114,18 +140,28 @@ func (g *Disk) BFSFrom(src int) ([]int, error) {
 		dist[i] = -1
 	}
 	dist[src] = 0
-	r2 := g.radius * g.radius
+	r := g.radius
+	r2 := r * r
 	queue := make([]int32, 0, n)
 	queue = append(queue, int32(src))
-	var rows [3][]int32
+	var spans [3]spatialindex.Span
 	for len(queue) > 0 {
 		v := int(queue[0])
 		queue = queue[1:]
-		p := g.pts[v]
-		nr := g.index.BlockRows(p, &rows)
+		px, py := g.xs[v], g.ys[v]
+		nr := g.index.BlockSpans(px, py, &spans)
 		for ri := 0; ri < nr; ri++ {
-			for _, w := range rows[ri] {
-				if dist[w] == -1 && g.pts[w].Dist2(p) <= r2 {
+			s := spans[ri]
+			for k, w := range s.IDs {
+				if dist[w] != -1 {
+					continue
+				}
+				dx := s.XS[k] - px
+				if dx > r || dx < -r {
+					continue
+				}
+				dy := s.YS[k] - py
+				if dx*dx+dy*dy <= r2 {
 					dist[w] = dist[v] + 1
 					queue = append(queue, w)
 				}
@@ -172,7 +208,7 @@ func (g *Disk) ApproxDiameter(src int) (int, error) {
 // DegreeHistogram returns counts[d] = number of vertices with degree d.
 func (g *Disk) DegreeHistogram() map[int]int {
 	h := make(map[int]int)
-	for i := range g.pts {
+	for i := range g.xs {
 		h[g.Degree(i)]++
 	}
 	return h
@@ -183,7 +219,7 @@ func (g *Disk) DegreeHistogram() map[int]int {
 // that keep MRWP snapshots disconnected far above the uniform threshold.
 func (g *Disk) IsolatedCount() int {
 	var n int
-	for i := range g.pts {
+	for i := range g.xs {
 		if g.Degree(i) == 0 {
 			n++
 		}
@@ -193,11 +229,11 @@ func (g *Disk) IsolatedCount() int {
 
 // MinDegree returns the minimum vertex degree (0 for the empty graph).
 func (g *Disk) MinDegree() int {
-	if len(g.pts) == 0 {
+	if len(g.xs) == 0 {
 		return 0
 	}
 	min := g.Degree(0)
-	for i := 1; i < len(g.pts); i++ {
+	for i := 1; i < len(g.xs); i++ {
 		if d := g.Degree(i); d < min {
 			min = d
 		}

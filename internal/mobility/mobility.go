@@ -37,6 +37,59 @@ type Agent interface {
 	Speed() float64
 }
 
+// View is the simulator's structure-of-arrays position sink: slot i of the
+// X and Y slices holds agent i's current coordinates. Agents bound to a
+// view (see SlotWriter) scatter their position into their slot at the end
+// of every Step, so the simulator's hot loops read flat float64 slices and
+// never pay a second interface call (Pos) per agent per step. Agent
+// stepping itself is untouched — the view only routes the final write — so
+// trajectories are bit-identical to the unbound path.
+type View struct {
+	X, Y []float64
+}
+
+// SlotWriter is implemented by agents that can scatter their position
+// directly into a bound View slot on every Step. All models in this
+// package implement it; the simulator falls back to copying Pos() for
+// third-party agents that do not.
+type SlotWriter interface {
+	Agent
+	// BindSlot attaches the view slot the agent writes through and
+	// immediately publishes the current position into it.
+	BindSlot(v View, slot int)
+}
+
+// slotSink is the embeddable write-through half of SlotWriter: the bound
+// view slot an agent scatters its position into. Concrete agents embed it,
+// call publish at the end of every position change, and preserve it across
+// in-place reinitialization.
+type slotSink struct {
+	out  View
+	slot int
+}
+
+// bind attaches the view slot.
+func (s *slotSink) bind(v View, slot int) { s.out, s.slot = v, slot }
+
+// publish scatters (x, y) into the bound slot, if any.
+func (s *slotSink) publish(x, y float64) {
+	if s.out.X != nil {
+		s.out.X[s.slot] = x
+		s.out.Y[s.slot] = y
+	}
+}
+
+// ReinitModel is implemented by models that can re-draw an existing agent
+// in place from a fresh RNG stream, exactly as NewAgent would — the
+// world-pooling fast path for Monte-Carlo trial sweeps (no per-trial agent
+// or RNG allocations). ReinitAgent reports false when a did not come from
+// this model's NewAgent, in which case the caller falls back to NewAgent.
+// A bound view slot survives reinitialization.
+type ReinitModel interface {
+	Model
+	ReinitAgent(a Agent, rng *rand.Rand) bool
+}
+
 // Directed is implemented by agents with a well-defined axis-parallel or
 // free direction of motion. For Manhattan-style models the heading is one
 // of the four axis directions.

@@ -57,7 +57,25 @@ func (m *MRWP) Config() Config { return m.cfg }
 
 // NewAgent implements Model.
 func (m *MRWP) NewAgent(rng *rand.Rand) Agent {
-	a := &MRWPAgent{cfg: m.cfg, rng: rng}
+	a := &MRWPAgent{}
+	m.initAgent(a, rng)
+	return a
+}
+
+// ReinitAgent implements ReinitModel: it re-draws an existing *MRWPAgent
+// in place, exactly as NewAgent would, preserving its view binding.
+func (m *MRWP) ReinitAgent(ag Agent, rng *rand.Rand) bool {
+	a, ok := ag.(*MRWPAgent)
+	if !ok {
+		return false
+	}
+	m.initAgent(a, rng)
+	return true
+}
+
+func (m *MRWP) initAgent(a *MRWPAgent, rng *rand.Rand) {
+	sink := a.slotSink
+	*a = MRWPAgent{cfg: m.cfg, rng: rng, slotSink: sink}
 	switch m.init {
 	case InitUniform:
 		src := geom.Pt(rng.Float64()*m.cfg.L, rng.Float64()*m.cfg.L)
@@ -70,8 +88,9 @@ func (m *MRWP) NewAgent(rng *rand.Rand) Agent {
 		a.setPath(t.Path)
 		a.travelled = t.Travelled
 	}
+	a.syncLeg()
 	a.pos = a.path.At(a.travelled)
-	return a
+	a.publish(a.pos.X, a.pos.Y)
 }
 
 // NewMRWPAgent creates a single stationary MRWP agent directly; a
@@ -92,23 +111,66 @@ func randOrder(rng *rand.Rand) geom.LegOrder {
 }
 
 // MRWPAgent is one agent of the MRWP model.
+//
+// The hot fields are grouped up front: the common step — advance within
+// the current leg, no corner, no way-point — touches only the leg cache
+// below plus pos/out, never the full compiled path.
 type MRWPAgent struct {
 	cfg       Config
+	travelled float64
+	// Current-leg cache: for legS <= t < legE the position is
+	// (legBX, legBY) + (t - legS) * (legDX, legDY), bit-identical to
+	// CompiledPath.At; legT caches the path's TotalLen for the arrival
+	// test. Maintained by syncLeg.
+	legS, legE float64
+	legT       float64
+	legBX      float64
+	legBY      float64
+	legDX      float64
+	legDY      float64
+	pos        geom.Point
+	slotSink
 	rng       *rand.Rand
 	path      geom.CompiledPath
-	travelled float64
-	pos       geom.Point
 	turns     int64
 	waypoints int64
 }
 
 // setPath installs a fresh trip, caching its derived geometry.
-func (a *MRWPAgent) setPath(p geom.LPath) { a.path = geom.Compile(p) }
+func (a *MRWPAgent) setPath(p geom.LPath) {
+	a.path = geom.Compile(p)
+}
+
+// syncLeg refreshes the current-leg cache from path and travelled. The
+// boundary rules mirror CompiledPath.At: distances strictly below FirstLen
+// ride the first leg, everything else the second (degenerate legs
+// included); the fast path only fires strictly inside (t < legE), so the
+// At early-outs for d <= 0 and d >= TotalLen stay with the slow path.
+func (a *MRWPAgent) syncLeg() {
+	p := &a.path
+	a.legT = p.TotalLen
+	if a.travelled < p.FirstLen {
+		a.legS, a.legE = 0, p.FirstLen
+		a.legBX, a.legBY = p.Src.X, p.Src.Y
+		a.legDX, a.legDY = p.D1X, p.D1Y
+	} else {
+		a.legS, a.legE = p.FirstLen, p.TotalLen
+		a.legBX, a.legBY = p.CornerPt.X, p.CornerPt.Y
+		a.legDX, a.legDY = p.D2X, p.D2Y
+	}
+}
+
+// BindSlot implements SlotWriter.
+func (a *MRWPAgent) BindSlot(v View, slot int) {
+	a.bind(v, slot)
+	a.publish(a.pos.X, a.pos.Y)
+}
 
 var (
 	_ Directed    = (*MRWPAgent)(nil)
 	_ TurnCounter = (*MRWPAgent)(nil)
 	_ Destined    = (*MRWPAgent)(nil)
+	_ SlotWriter  = (*MRWPAgent)(nil)
 )
 
 // initFromTheorems builds the agent's state from the closed-form laws:
@@ -175,10 +237,31 @@ func (a *MRWPAgent) OnSecondLeg() bool { return a.path.OnSecondLeg(a.travelled) 
 
 // Step implements Agent. It advances the agent by distance V along its
 // route, chaining into fresh trips as destinations are reached within the
-// time unit, and counts direction changes (the paper's "turns"). All path
-// geometry comes from the compiled cache, so a step is pure arithmetic —
-// no per-call corner or length recomputation.
+// time unit, and counts direction changes (the paper's "turns").
+//
+// The common case — the move stays strictly inside the current leg — is
+// pure multiply-add on the leg cache (bit-identical to CompiledPath.At)
+// and touches neither the compiled path nor the RNG. Corner crossings,
+// way-point arrivals and exact boundary hits take the slow path, which is
+// the original exact loop.
 func (a *MRWPAgent) Step() {
+	// Both guards replicate the slow path's own float comparisons (the
+	// arrival test residual < remain and the corner test
+	// travelled+residual >= corner), so the branch taken here is exactly
+	// the branch the original loop would take — boundary and 1-ulp cases
+	// all fall through to the exact code.
+	t := a.travelled + a.cfg.V
+	if a.cfg.V < a.legT-a.travelled && t < a.legE {
+		a.travelled = t
+		u := t - a.legS
+		a.pos = geom.Point{X: a.legBX + u*a.legDX, Y: a.legBY + u*a.legDY}.Clamp(a.cfg.L)
+		a.publish(a.pos.X, a.pos.Y)
+		return
+	}
+	a.stepSlow()
+}
+
+func (a *MRWPAgent) stepSlow() {
 	residual := a.cfg.V
 	for residual > 0 {
 		remain := a.path.TotalLen - a.travelled
@@ -213,7 +296,9 @@ func (a *MRWPAgent) Step() {
 			a.turns++
 		}
 	}
+	a.syncLeg()
 	a.pos = a.path.At(a.travelled).Clamp(a.cfg.L)
+	a.publish(a.pos.X, a.pos.Y)
 }
 
 // startTrip begins a fresh trip from the current destination.

@@ -74,7 +74,24 @@ func (m *PausedMRWP) StationaryDensity(x, y float64) float64 {
 
 // NewAgent implements Model with exact stationary initialization.
 func (m *PausedMRWP) NewAgent(rng *rand.Rand) Agent {
-	a := &PausedAgent{cfg: m.cfg, maxPause: m.maxPause, rng: rng}
+	a := &PausedAgent{}
+	m.initAgent(a, rng)
+	return a
+}
+
+// ReinitAgent implements ReinitModel.
+func (m *PausedMRWP) ReinitAgent(ag Agent, rng *rand.Rand) bool {
+	a, ok := ag.(*PausedAgent)
+	if !ok {
+		return false
+	}
+	m.initAgent(a, rng)
+	return true
+}
+
+func (m *PausedMRWP) initAgent(a *PausedAgent, rng *rand.Rand) {
+	sink := a.slotSink
+	*a = PausedAgent{cfg: m.cfg, maxPause: m.maxPause, rng: rng, slotSink: sink}
 	if rng.Float64() < m.PausedFraction() {
 		// Paused phase: position uniform (destinations are uniform), total
 		// pause length-biased (density ~ tau on [0, P] => P*sqrt(U)),
@@ -91,7 +108,7 @@ func (m *PausedMRWP) NewAgent(rng *rand.Rand) Agent {
 		a.travelled = t.Travelled
 	}
 	a.pos = a.path.At(a.travelled)
-	return a
+	a.publish(a.pos.X, a.pos.Y)
 }
 
 // PausedAgent is one agent of the paused MRWP model.
@@ -103,12 +120,19 @@ type PausedAgent struct {
 	travelled float64
 	pauseLeft float64 // remaining pause time at the current way-point
 	pos       geom.Point
+	slotSink
 }
 
 // setPath installs a fresh trip, caching its derived geometry.
 func (a *PausedAgent) setPath(p geom.LPath) { a.path = geom.Compile(p) }
 
-var _ Agent = (*PausedAgent)(nil)
+var _ SlotWriter = (*PausedAgent)(nil)
+
+// BindSlot implements SlotWriter.
+func (a *PausedAgent) BindSlot(v View, slot int) {
+	a.bind(v, slot)
+	a.publish(a.pos.X, a.pos.Y)
+}
 
 // Pos implements Agent.
 func (a *PausedAgent) Pos() geom.Point { return a.pos }
@@ -148,4 +172,5 @@ func (a *PausedAgent) Step() {
 		a.travelled = 0
 	}
 	a.pos = a.path.At(a.travelled).Clamp(a.cfg.L)
+	a.publish(a.pos.X, a.pos.Y)
 }

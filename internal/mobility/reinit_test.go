@@ -1,0 +1,132 @@
+package mobility
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// reinitModels builds one instance of every model, all of which must
+// support in-place reinitialization.
+func reinitModels(t *testing.T) map[string]Model {
+	t.Helper()
+	cfg := Config{L: 10, V: 0.3}
+	mrwp, err := NewMRWP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrwpCold, err := NewMRWP(cfg, WithInit(InitUniform))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrwpT12, err := NewMRWP(cfg, WithInit(InitTheorem12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rwp, err := NewRWP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk, err := NewRandomWalk(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := NewRandomDirection(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paused, err := NewPausedMRWP(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Model{
+		"mrwp":             mrwp,
+		"mrwp-cold":        mrwpCold,
+		"mrwp-theorem12":   mrwpT12,
+		"rwp":              rwp,
+		"random-walk":      walk,
+		"random-direction": dir,
+		"mrwp-paused":      paused,
+	}
+}
+
+// ReinitAgent must reproduce NewAgent exactly: an agent re-drawn in place
+// from a fresh RNG stream follows bit-identical trajectories to a fresh
+// agent drawn from an identically seeded stream. World pooling
+// (sim.World.Reset) is built on this contract.
+func TestReinitAgentMatchesNewAgent(t *testing.T) {
+	for name, m := range reinitModels(t) {
+		rm, ok := m.(ReinitModel)
+		if !ok {
+			t.Fatalf("%s: model does not implement ReinitModel", name)
+		}
+		fresh := m.NewAgent(rand.New(rand.NewPCG(42, 7)))
+		// Dirty an agent with a different seed and some steps, then
+		// reinitialize it from the same stream the fresh agent used.
+		recycled := m.NewAgent(rand.New(rand.NewPCG(999, 1)))
+		for s := 0; s < 17; s++ {
+			recycled.Step()
+		}
+		if !rm.ReinitAgent(recycled, rand.New(rand.NewPCG(42, 7))) {
+			t.Fatalf("%s: ReinitAgent rejected its own agent", name)
+		}
+		if fresh.Pos() != recycled.Pos() {
+			t.Fatalf("%s: initial positions differ: %v vs %v", name, fresh.Pos(), recycled.Pos())
+		}
+		for s := 0; s < 200; s++ {
+			fresh.Step()
+			recycled.Step()
+			if fresh.Pos() != recycled.Pos() {
+				t.Fatalf("%s: trajectories diverge at step %d: %v vs %v",
+					name, s+1, fresh.Pos(), recycled.Pos())
+			}
+		}
+		// Counters must restart too, where the agent tracks them.
+		if tc, ok := fresh.(TurnCounter); ok {
+			rc := recycled.(TurnCounter)
+			if tc.Turns() != rc.Turns() || tc.Waypoints() != rc.Waypoints() {
+				t.Fatalf("%s: counters differ: turns %d/%d waypoints %d/%d",
+					name, tc.Turns(), rc.Turns(), tc.Waypoints(), rc.Waypoints())
+			}
+		}
+	}
+}
+
+// ReinitAgent must reject agents of a different model.
+func TestReinitAgentRejectsForeignAgent(t *testing.T) {
+	cfg := Config{L: 10, V: 0.3}
+	mrwp, err := NewMRWP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk, err := NewRandomWalk(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := walk.NewAgent(rand.New(rand.NewPCG(1, 1)))
+	if mrwp.ReinitAgent(foreign, rand.New(rand.NewPCG(2, 2))) {
+		t.Fatal("MRWP.ReinitAgent accepted a random-walk agent")
+	}
+}
+
+// A bound view slot must survive reinitialization and keep receiving
+// position writes.
+func TestReinitKeepsSlotBinding(t *testing.T) {
+	cfg := Config{L: 10, V: 0.3}
+	m, err := NewMRWP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := View{X: make([]float64, 3), Y: make([]float64, 3)}
+	a := m.NewAgent(rand.New(rand.NewPCG(3, 3))).(SlotWriter)
+	a.BindSlot(v, 2)
+	if !m.ReinitAgent(a, rand.New(rand.NewPCG(8, 8))) {
+		t.Fatal("ReinitAgent failed")
+	}
+	if p := a.Pos(); v.X[2] != p.X || v.Y[2] != p.Y {
+		t.Fatalf("slot not updated on reinit: slot (%v, %v), agent %v", v.X[2], v.Y[2], p)
+	}
+	a.Step()
+	if p := a.Pos(); v.X[2] != p.X || v.Y[2] != p.Y {
+		t.Fatalf("slot not updated on step: slot (%v, %v), agent %v", v.X[2], v.Y[2], p)
+	}
+}

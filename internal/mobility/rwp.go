@@ -49,7 +49,24 @@ func (m *RWP) Name() string { return "rwp" }
 
 // NewAgent implements Model.
 func (m *RWP) NewAgent(rng *rand.Rand) Agent {
-	a := &RWPAgent{cfg: m.cfg, rng: rng}
+	a := &RWPAgent{}
+	m.initAgent(a, rng)
+	return a
+}
+
+// ReinitAgent implements ReinitModel.
+func (m *RWP) ReinitAgent(ag Agent, rng *rand.Rand) bool {
+	a, ok := ag.(*RWPAgent)
+	if !ok {
+		return false
+	}
+	m.initAgent(a, rng)
+	return true
+}
+
+func (m *RWP) initAgent(a *RWPAgent, rng *rand.Rand) {
+	sink := a.slotSink
+	*a = RWPAgent{cfg: m.cfg, rng: rng, slotSink: sink}
 	if m.init == InitUniform {
 		a.src = geom.Pt(rng.Float64()*m.cfg.L, rng.Float64()*m.cfg.L)
 		a.dst = geom.Pt(rng.Float64()*m.cfg.L, rng.Float64()*m.cfg.L)
@@ -61,7 +78,6 @@ func (m *RWP) NewAgent(rng *rand.Rand) Agent {
 		a.travelled = rng.Float64() * a.src.Dist(a.dst)
 	}
 	a.updatePos()
-	return a
 }
 
 // sampleEuclideanBiasedPair draws (A, B) from [0,L]^4 with density
@@ -84,10 +100,20 @@ type RWPAgent struct {
 	src, dst  geom.Point
 	travelled float64
 	pos       geom.Point
+	slotSink
 	waypoints int64
 }
 
-var _ Destined = (*RWPAgent)(nil)
+var (
+	_ Destined   = (*RWPAgent)(nil)
+	_ SlotWriter = (*RWPAgent)(nil)
+)
+
+// BindSlot implements SlotWriter.
+func (a *RWPAgent) BindSlot(v View, slot int) {
+	a.bind(v, slot)
+	a.publish(a.pos.X, a.pos.Y)
+}
 
 // Pos implements Agent.
 func (a *RWPAgent) Pos() geom.Point { return a.pos }
@@ -124,8 +150,10 @@ func (a *RWPAgent) updatePos() {
 	length := a.src.Dist(a.dst)
 	if length == 0 {
 		a.pos = a.src
+		a.publish(a.pos.X, a.pos.Y)
 		return
 	}
 	frac := a.travelled / length
 	a.pos = a.src.Add(a.dst.Sub(a.src).Scale(frac)).Clamp(a.cfg.L)
+	a.publish(a.pos.X, a.pos.Y)
 }

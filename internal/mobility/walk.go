@@ -34,11 +34,30 @@ func (m *RandomWalk) Name() string { return "random-walk" }
 // NewAgent implements Model. Agents start uniform, which is already the
 // stationary law of this model.
 func (m *RandomWalk) NewAgent(rng *rand.Rand) Agent {
-	return &WalkAgent{
-		cfg: m.cfg,
-		rng: rng,
-		pos: geom.Pt(rng.Float64()*m.cfg.L, rng.Float64()*m.cfg.L),
+	a := &WalkAgent{}
+	m.initAgent(a, rng)
+	return a
+}
+
+// ReinitAgent implements ReinitModel.
+func (m *RandomWalk) ReinitAgent(ag Agent, rng *rand.Rand) bool {
+	a, ok := ag.(*WalkAgent)
+	if !ok {
+		return false
 	}
+	m.initAgent(a, rng)
+	return true
+}
+
+func (m *RandomWalk) initAgent(a *WalkAgent, rng *rand.Rand) {
+	sink := a.slotSink
+	*a = WalkAgent{
+		cfg:      m.cfg,
+		rng:      rng,
+		pos:      geom.Pt(rng.Float64()*m.cfg.L, rng.Float64()*m.cfg.L),
+		slotSink: sink,
+	}
+	a.publish(a.pos.X, a.pos.Y)
 }
 
 // WalkAgent is one random-walk agent.
@@ -46,9 +65,10 @@ type WalkAgent struct {
 	cfg Config
 	rng *rand.Rand
 	pos geom.Point
+	slotSink
 }
 
-var _ Agent = (*WalkAgent)(nil)
+var _ SlotWriter = (*WalkAgent)(nil)
 
 // Pos implements Agent.
 func (a *WalkAgent) Pos() geom.Point { return a.pos }
@@ -56,12 +76,19 @@ func (a *WalkAgent) Pos() geom.Point { return a.pos }
 // Speed implements Agent.
 func (a *WalkAgent) Speed() float64 { return a.cfg.V }
 
+// BindSlot implements SlotWriter.
+func (a *WalkAgent) BindSlot(v View, slot int) {
+	a.bind(v, slot)
+	a.publish(a.pos.X, a.pos.Y)
+}
+
 // Step implements Agent.
 func (a *WalkAgent) Step() {
 	theta := a.rng.Float64() * 2 * math.Pi
 	nx := a.pos.X + a.cfg.V*math.Cos(theta)
 	ny := a.pos.Y + a.cfg.V*math.Sin(theta)
 	a.pos = geom.Pt(reflect(nx, a.cfg.L), reflect(ny, a.cfg.L))
+	a.publish(a.pos.X, a.pos.Y)
 }
 
 // RandomDirection is the random-direction model: the agent picks a uniform
@@ -88,15 +115,33 @@ func (m *RandomDirection) Name() string { return "random-direction" }
 
 // NewAgent implements Model.
 func (m *RandomDirection) NewAgent(rng *rand.Rand) Agent {
-	a := &DirectionAgent{
-		cfg: m.cfg,
-		rng: rng,
-		pos: geom.Pt(rng.Float64()*m.cfg.L, rng.Float64()*m.cfg.L),
+	a := &DirectionAgent{}
+	m.initAgent(a, rng)
+	return a
+}
+
+// ReinitAgent implements ReinitModel.
+func (m *RandomDirection) ReinitAgent(ag Agent, rng *rand.Rand) bool {
+	a, ok := ag.(*DirectionAgent)
+	if !ok {
+		return false
+	}
+	m.initAgent(a, rng)
+	return true
+}
+
+func (m *RandomDirection) initAgent(a *DirectionAgent, rng *rand.Rand) {
+	sink := a.slotSink
+	*a = DirectionAgent{
+		cfg:      m.cfg,
+		rng:      rng,
+		pos:      geom.Pt(rng.Float64()*m.cfg.L, rng.Float64()*m.cfg.L),
+		slotSink: sink,
 	}
 	a.redraw()
 	// Start mid-epoch so agents are desynchronized from time 0.
 	a.remaining *= rng.Float64()
-	return a
+	a.publish(a.pos.X, a.pos.Y)
 }
 
 // DirectionAgent is one random-direction agent.
@@ -106,9 +151,16 @@ type DirectionAgent struct {
 	pos       geom.Point
 	dx, dy    float64 // unit direction
 	remaining float64 // distance left in the current epoch
+	slotSink
 }
 
-var _ Agent = (*DirectionAgent)(nil)
+var _ SlotWriter = (*DirectionAgent)(nil)
+
+// BindSlot implements SlotWriter.
+func (a *DirectionAgent) BindSlot(v View, slot int) {
+	a.bind(v, slot)
+	a.publish(a.pos.X, a.pos.Y)
+}
 
 func (a *DirectionAgent) redraw() {
 	theta := a.rng.Float64() * 2 * math.Pi
@@ -142,6 +194,7 @@ func (a *DirectionAgent) Step() {
 			a.redraw()
 		}
 	}
+	a.publish(a.pos.X, a.pos.Y)
 }
 
 // reflectDir folds v into [0, side] by mirror reflection and reports

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"testing"
+
+	"manhattanflood/internal/geom"
+	"manhattanflood/internal/mobility"
+)
+
+// Reset must be bit-identical to constructing a fresh world with the same
+// parameters: after Reset(seed) the pooled world follows exactly the
+// trajectories of NewWorld at that seed, for every mobility model and for
+// parallel stepping. This is the contract experiments.floodTrials pools
+// worlds on.
+func TestResetMatchesFreshWorld(t *testing.T) {
+	factories := map[string]ModelFactory{
+		"mrwp":             nil, // default
+		"mrwp-cold":        MRWPFactory(mobility.WithInit(mobility.InitUniform)),
+		"mrwp-theorem12":   MRWPFactory(mobility.WithInit(mobility.InitTheorem12)),
+		"rwp":              RWPFactory(),
+		"random-walk":      RandomWalkFactory(),
+		"random-direction": RandomDirectionFactory(),
+		"mrwp-paused":      PausedMRWPFactory(3),
+	}
+	for name, factory := range factories {
+		for _, workers := range []int{0, 3} {
+			p := Params{N: 60, L: 12, R: 2, V: 0.3, Seed: 1000, Workers: workers}
+			pooled, err := NewWorld(p, factory)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			// Dirty the pooled world, then re-seed it.
+			for s := 0; s < 13; s++ {
+				pooled.Step()
+			}
+			const seed = 7
+			pooled.Reset(seed)
+			if pooled.Time() != 0 {
+				t.Fatalf("%s: Time = %d after Reset, want 0", name, pooled.Time())
+			}
+			if pooled.Params().Seed != seed {
+				t.Fatalf("%s: Params().Seed = %d, want %d", name, pooled.Params().Seed, seed)
+			}
+
+			fp := p
+			fp.Seed = seed
+			fresh, err := NewWorld(fp, factory)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for s := 0; s <= 25; s++ {
+				for i := 0; i < p.N; i++ {
+					if pooled.Position(i) != fresh.Position(i) {
+						t.Fatalf("%s workers=%d: agent %d diverges at step %d: %v vs %v",
+							name, workers, i, s, pooled.Position(i), fresh.Position(i))
+					}
+				}
+				// The rebuilt index must agree too.
+				if got, want := pooled.Index().Len(), fresh.Index().Len(); got != want {
+					t.Fatalf("%s: index sizes differ: %d vs %d", name, got, want)
+				}
+				pooled.Step()
+				fresh.Step()
+			}
+		}
+	}
+}
+
+// Positions must return an independent snapshot: stable across Step and
+// Reset, and not aliasing the live coordinate slices.
+func TestPositionsSnapshotSurvivesStepAndReset(t *testing.T) {
+	w, err := NewWorld(Params{N: 40, L: 10, R: 1.5, V: 0.4, Seed: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := w.Positions()
+	held := append([]geom.Point(nil), snap...)
+	w.Step()
+	w.Step()
+	for i := range held {
+		if snap[i] != held[i] {
+			t.Fatalf("snapshot entry %d changed after Step", i)
+		}
+	}
+	w.Reset(99)
+	for i := range held {
+		if snap[i] != held[i] {
+			t.Fatalf("snapshot entry %d changed after Reset", i)
+		}
+	}
+	// Mutating the snapshot must not leak into the world.
+	snap[0] = geom.Pt(-1, -1)
+	if w.Position(0) == geom.Pt(-1, -1) {
+		t.Fatal("Positions aliases the live coordinate slices")
+	}
+}
+
+// The live X/Y slices are the SoA view of the same positions.
+func TestLiveXYMatchPositions(t *testing.T) {
+	w, err := NewWorld(Params{N: 30, L: 8, R: 1, V: 0.2, Seed: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 5; s++ {
+		xs, ys := w.X(), w.Y()
+		for i, p := range w.Positions() {
+			if xs[i] != p.X || ys[i] != p.Y {
+				t.Fatalf("step %d agent %d: X/Y (%v, %v) != Positions %v", s, i, xs[i], ys[i], p)
+			}
+			if w.Position(i) != p {
+				t.Fatalf("step %d agent %d: Position %v != Positions %v", s, i, w.Position(i), p)
+			}
+		}
+		w.Step()
+	}
+}
+
+// A held SnapshotGraph must stay consistent across Reset (it copies the
+// coordinates internally).
+func TestSnapshotGraphSurvivesReset(t *testing.T) {
+	w, err := NewWorld(Params{N: 50, L: 10, R: 2, V: 0.3, Seed: 11}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := w.SnapshotGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := g.Degree(0)
+	w.Reset(12345)
+	w.Step()
+	if g.Degree(0) != deg {
+		t.Fatal("snapshot graph drifted across Reset")
+	}
+}

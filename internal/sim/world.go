@@ -4,7 +4,29 @@
 //
 // The engine is deliberately protocol-agnostic; the flooding process (the
 // paper's subject) lives in internal/core and observes the World through
-// its snapshot accessors.
+// its accessors.
+//
+// # Structure-of-arrays layout
+//
+// The World stores agent positions as two flat float64 slices (one per
+// coordinate) rather than a []geom.Point: the Monte-Carlo sweeps that
+// dominate the simulator's runtime stream X before (or instead of) Y in
+// their distance tests, and the split layout halves the memory traffic of
+// those loops. Agents are bound to their slice slot at construction
+// (mobility.SlotWriter) and scatter their position into it at the end of
+// every Step, so the engine pays exactly one interface call per agent per
+// step. X and Y expose the live slices (valid snapshots only until the
+// next Step/Reset); Positions allocates a point snapshot for cold paths
+// (traces, examples) that remains valid forever.
+//
+// # Reset and world pooling
+//
+// Reset re-draws every agent from a fresh seed in place — reusing the
+// model, the per-agent RNGs, the position slices, and the neighbor index —
+// and is bit-identical to constructing a new World with the same
+// parameters. Trial sweeps (internal/experiments) pool one World (plus one
+// flooding process) per worker and Reset it between trials, which removes
+// every per-trial allocation; see experiments.floodTrials.
 package sim
 
 import (
@@ -99,12 +121,18 @@ func RandomDirectionFactory() ModelFactory {
 	}
 }
 
+// seedStride separates per-agent PCG streams split from the world seed.
+const seedStride = 0x9e3779b97f4a7c15
+
 // World is a population of agents stepped in lockstep.
 type World struct {
 	params Params
 	model  mobility.Model
 	agents []mobility.Agent
-	pos    []geom.Point
+	rngs   []*rand.Rand
+	pcgs   []*rand.PCG
+	x, y   []float64 // SoA positions, indexed by agent id
+	bound  bool      // every agent writes its slot itself (SlotWriter)
 	index  *spatialindex.Index
 	step   int
 }
@@ -130,17 +158,67 @@ func NewWorld(p Params, factory ModelFactory) (*World, error) {
 		params: p,
 		model:  model,
 		agents: make([]mobility.Agent, p.N),
-		pos:    make([]geom.Point, p.N),
+		rngs:   make([]*rand.Rand, p.N),
+		pcgs:   make([]*rand.PCG, p.N),
+		x:      make([]float64, p.N),
+		y:      make([]float64, p.N),
 		index:  ix,
+		bound:  true,
 	}
+	view := mobility.View{X: w.x, Y: w.y}
 	for i := range w.agents {
 		// Independent per-agent PCG streams split from the world seed.
-		rng := rand.New(rand.NewPCG(p.Seed, uint64(i)+0x9e3779b97f4a7c15))
-		w.agents[i] = model.NewAgent(rng)
-		w.pos[i] = w.agents[i].Pos()
+		w.pcgs[i] = rand.NewPCG(p.Seed, uint64(i)+seedStride)
+		w.rngs[i] = rand.New(w.pcgs[i])
+		a := model.NewAgent(w.rngs[i])
+		w.agents[i] = a
+		if sw, ok := a.(mobility.SlotWriter); ok {
+			sw.BindSlot(view, i) // publishes the initial position
+		} else {
+			w.bound = false
+			p := a.Pos()
+			w.x[i], w.y[i] = p.X, p.Y
+		}
 	}
-	w.index.Rebuild(w.pos)
+	w.index.RebuildXY(w.x, w.y)
 	return w, nil
+}
+
+// Reset re-draws every agent from the given seed in place, reusing the
+// model, the per-agent RNGs, the position slices and the neighbor index.
+// After Reset the world is bit-identical to a fresh NewWorld with the same
+// parameters and that seed: Reset(s) followed by any step sequence yields
+// exactly the trajectories of a new world seeded s. Time restarts at 0.
+// Previously returned Positions snapshots are unaffected; the live X/Y
+// slices and the Index are rebuilt in place.
+func (w *World) Reset(seed uint64) {
+	w.params.Seed = seed
+	rm, _ := w.model.(mobility.ReinitModel)
+	view := mobility.View{X: w.x, Y: w.y}
+	for i := range w.agents {
+		w.pcgs[i].Seed(seed, uint64(i)+seedStride)
+		if rm != nil && rm.ReinitAgent(w.agents[i], w.rngs[i]) {
+			// Slot binding survives in-place reinit; agents without one
+			// (only possible when the world holds non-SlotWriter agents)
+			// need their SoA slot refreshed by hand.
+			if !w.bound {
+				p := w.agents[i].Pos()
+				w.x[i], w.y[i] = p.X, p.Y
+			}
+			continue
+		}
+		a := w.model.NewAgent(w.rngs[i])
+		w.agents[i] = a
+		if sw, ok := a.(mobility.SlotWriter); ok {
+			sw.BindSlot(view, i)
+		} else {
+			w.bound = false
+			p := a.Pos()
+			w.x[i], w.y[i] = p.X, p.Y
+		}
+	}
+	w.step = 0
+	w.index.RebuildXY(w.x, w.y)
 }
 
 // Params returns the world's parameters.
@@ -160,15 +238,23 @@ func (w *World) Time() int { return w.step }
 // goroutines; the result is bit-identical to sequential stepping because
 // agents are fully independent.
 func (w *World) Step() {
-	if w.params.Workers > 1 && len(w.agents) >= 2*w.params.Workers {
+	switch {
+	case w.params.Workers > 1 && len(w.agents) >= 2*w.params.Workers:
 		w.stepParallel()
-	} else {
+	case w.bound:
+		// Slot-bound agents publish their own position; one interface
+		// call per agent.
+		for _, a := range w.agents {
+			a.Step()
+		}
+	default:
 		for i, a := range w.agents {
 			a.Step()
-			w.pos[i] = a.Pos()
+			p := a.Pos()
+			w.x[i], w.y[i] = p.X, p.Y
 		}
 	}
-	w.index.Rebuild(w.pos)
+	w.index.RebuildXY(w.x, w.y)
 	w.step++
 }
 
@@ -185,9 +271,16 @@ func (w *World) stepParallel() {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			if w.bound {
+				for i := lo; i < hi; i++ {
+					w.agents[i].Step()
+				}
+				return
+			}
 			for i := lo; i < hi; i++ {
 				w.agents[i].Step()
-				w.pos[i] = w.agents[i].Pos()
+				p := w.agents[i].Pos()
+				w.x[i], w.y[i] = p.X, p.Y
 			}
 		}(start, end)
 	}
@@ -195,13 +288,27 @@ func (w *World) stepParallel() {
 }
 
 // Position returns agent i's current position.
-func (w *World) Position(i int) geom.Point { return w.pos[i] }
+func (w *World) Position(i int) geom.Point { return geom.Point{X: w.x[i], Y: w.y[i]} }
 
-// Positions returns the live position slice. It is re-used across steps;
-// callers must copy it if they need a stable snapshot. (The neighbor index
-// and disk-graph snapshots copy internally, so only direct holds on this
-// slice are affected.)
-func (w *World) Positions() []geom.Point { return w.pos }
+// X returns the live X-coordinate slice, indexed by agent id. It is
+// rewritten in place by Step and Reset; callers needing a stable snapshot
+// use Positions.
+func (w *World) X() []float64 { return w.x }
+
+// Y returns the live Y-coordinate slice, indexed by agent id.
+func (w *World) Y() []float64 { return w.y }
+
+// Positions returns a freshly allocated snapshot of all agent positions.
+// The snapshot stays valid (and unchanged) across Step and Reset calls; it
+// is the compatibility accessor for traces, examples and cold paths — hot
+// loops read X/Y or the index's CSR coordinate spans instead.
+func (w *World) Positions() []geom.Point {
+	out := make([]geom.Point, len(w.x))
+	for i := range out {
+		out[i] = geom.Point{X: w.x[i], Y: w.y[i]}
+	}
+	return out
+}
 
 // Agent returns agent i (for model-specific introspection such as turn
 // counters).
@@ -212,10 +319,10 @@ func (w *World) Agent(i int) mobility.Agent { return w.agents[i] }
 func (w *World) Index() *spatialindex.Index { return w.index }
 
 // SnapshotGraph builds the disk graph G_t of the current step. The graph
-// copies the positions (in its index rebuild), so it remains a consistent
-// snapshot across future Step calls.
+// copies the coordinates (in its index rebuild), so it remains a
+// consistent snapshot across future Step and Reset calls.
 func (w *World) SnapshotGraph() (*graph.Disk, error) {
-	return graph.NewDisk(w.pos, w.params.L, w.params.R)
+	return graph.NewDiskXY(w.x, w.y, w.params.L, w.params.R)
 }
 
 // NearestAgent returns the id of the agent closest to pt (ties broken by
@@ -223,8 +330,9 @@ func (w *World) SnapshotGraph() (*graph.Disk, error) {
 // loops.
 func (w *World) NearestAgent(pt geom.Point) int {
 	best, bestD := 0, math.Inf(1)
-	for i, p := range w.pos {
-		if d := p.Dist2(pt); d < bestD {
+	for i := range w.x {
+		dx, dy := w.x[i]-pt.X, w.y[i]-pt.Y
+		if d := dx*dx + dy*dy; d < bestD {
 			best, bestD = i, d
 		}
 	}

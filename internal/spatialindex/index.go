@@ -6,7 +6,7 @@
 // to scan the 3x3 block of buckets around the query point: O(number of
 // neighbors) expected time under any bounded density.
 //
-// # CSR layout
+// # CSR layout and coordinate slices
 //
 // The index stores the grid in compressed-sparse-row (CSR) form: one flat
 // ids array holding every point id in bucket-major order plus an offsets
@@ -16,13 +16,25 @@
 // bucket scan is one cache-linear slice walk instead of chasing
 // bucket-of-slices pointers. Because buckets are numbered row-major, the
 // three buckets of one row of a 3x3 query block are adjacent in the ids
-// array; BlockRows exposes each such row as a single contiguous span, which
-// is the closure-free fast path the flooding engine and the disk graph
-// iterate directly.
+// array; RowSpan/BlockSpans expose each such row as a single contiguous
+// span.
 //
-// Rebuild copies the points into an internal buffer, so the index stays
-// valid when the caller mutates or reuses its position slice afterwards
-// (sim.World reuses one slice across steps).
+// Coordinates live in structure-of-arrays form throughout. RebuildXY
+// ingests two flat float64 slices (sim.World's native layout; the
+// []geom.Point Rebuild remains as a converting wrapper for cold paths) and
+// maintains two parallel coordinate views:
+//
+//   - XS/YS: id-indexed copies, for point lookups by id;
+//   - CSR: bucket-major copies parallel to the ids array, so a row-span
+//     walk reads candidate coordinates as two sequential float64 streams —
+//     no 16-byte Point gathers — and can reject on |dx| > r before ever
+//     touching Y. This is the hot path of the flooding sweep and the disk
+//     graph (halved memory traffic per candidate, and the layout a future
+//     SIMD distance kernel would consume as-is).
+//
+// Rebuild copies the coordinates into internal buffers, so the index stays
+// valid when the caller mutates or reuses its slices afterwards (sim.World
+// rewrites its X/Y slices in place every step).
 //
 // An intentionally naive O(n^2) reference implementation (Brute) backs the
 // property tests.
@@ -36,18 +48,26 @@ import (
 )
 
 // Index is a uniform-grid fixed-radius neighbor index in CSR form. Build it
-// once per simulation step with Rebuild; queries are read-only and may run
-// concurrently after a Rebuild completes.
+// once per simulation step with RebuildXY (or Rebuild); queries are
+// read-only and may run concurrently after a rebuild completes.
 type Index struct {
 	side   float64
 	radius float64
 	invR   float64
 	cols   int
-	starts []int32 // bucket -> offset into ids; len cols*cols + 1
-	ids    []int32 // point ids in bucket-major order, ascending per bucket
-	cellOf []int32 // point id -> bucket
-	cursor []int32 // counting-sort scratch
-	pts    []geom.Point
+	starts []int32   // bucket -> offset into ids; len cols*cols + 1
+	ids    []int32   // point ids in bucket-major order, ascending per bucket
+	cellOf []int32   // point id -> bucket
+	cursor []int32   // counting-sort scratch
+	xs, ys []float64 // id-indexed coordinate copies
+	cx, cy []float64 // bucket-major coordinates, parallel to ids
+}
+
+// Span is one contiguous CSR range: parallel id and coordinate slices
+// (XS[k], YS[k] are the coordinates of point IDs[k]).
+type Span struct {
+	IDs    []int32
+	XS, YS []float64
 }
 
 // New creates an index over [0, side]^2 for neighbor queries at the given
@@ -77,7 +97,7 @@ func New(side, radius float64) (*Index, error) {
 func (ix *Index) Radius() float64 { return ix.radius }
 
 // Len returns the number of indexed points.
-func (ix *Index) Len() int { return len(ix.pts) }
+func (ix *Index) Len() int { return len(ix.ids) }
 
 // Cols returns the number of grid buckets per side.
 func (ix *Index) Cols() int { return ix.cols }
@@ -85,24 +105,61 @@ func (ix *Index) Cols() int { return ix.cols }
 // NumCells returns the total number of grid buckets, Cols^2.
 func (ix *Index) NumCells() int { return ix.cols * ix.cols }
 
-// Rebuild re-populates the index with pts via a two-pass counting sort.
-// Point ids are the slice indices. The pts slice is copied, not retained:
-// the caller may mutate or reuse it immediately, and previously built
-// queries against this index stay consistent until the next Rebuild.
-func (ix *Index) Rebuild(pts []geom.Point) {
-	n := len(pts)
-	ix.pts = append(ix.pts[:0], pts...)
+// ensure sizes the per-point arrays for n points without allocating in the
+// steady state.
+func (ix *Index) ensure(n int) {
 	if cap(ix.cellOf) < n {
 		ix.cellOf = make([]int32, n)
 		ix.ids = make([]int32, n)
+		ix.xs = make([]float64, n)
+		ix.ys = make([]float64, n)
+		ix.cx = make([]float64, n)
+		ix.cy = make([]float64, n)
 	}
 	ix.cellOf = ix.cellOf[:n]
 	ix.ids = ix.ids[:n]
+	ix.xs = ix.xs[:n]
+	ix.ys = ix.ys[:n]
+	ix.cx = ix.cx[:n]
+	ix.cy = ix.cy[:n]
+}
 
+// RebuildXY re-populates the index from flat coordinate slices via a
+// two-pass counting sort. Point ids are the slice indices; xs and ys must
+// have equal length. Both slices are copied, not retained: the caller may
+// mutate or reuse them immediately, and previously built queries against
+// this index stay consistent until the next rebuild.
+func (ix *Index) RebuildXY(xs, ys []float64) {
+	n := len(xs)
+	if len(ys) != n {
+		panic(fmt.Sprintf("spatialindex: coordinate slices disagree: len(xs)=%d len(ys)=%d", n, len(ys)))
+	}
+	ix.ensure(n)
+	copy(ix.xs, xs)
+	copy(ix.ys, ys)
+	ix.rebuildOwned()
+}
+
+// Rebuild re-populates the index with pts. It is the []geom.Point
+// compatibility wrapper around RebuildXY; like it, Rebuild copies the
+// coordinates and does not retain pts.
+func (ix *Index) Rebuild(pts []geom.Point) {
+	n := len(pts)
+	ix.ensure(n)
+	for i, p := range pts {
+		ix.xs[i] = p.X
+		ix.ys[i] = p.Y
+	}
+	ix.rebuildOwned()
+}
+
+// rebuildOwned runs the counting sort over the already-copied xs/ys.
+func (ix *Index) rebuildOwned() {
+	xs, ys := ix.xs, ix.ys
 	starts := ix.starts
 	clear(starts)
-	for i, p := range pts {
-		c := int32(ix.bucketOf(p))
+	for i := range xs {
+		c := int32(ix.bucketOfXY(xs[i], ys[i]))
 		ix.cellOf[i] = c
 		starts[c+1]++
 	}
@@ -112,21 +169,51 @@ func (ix *Index) Rebuild(pts []geom.Point) {
 	}
 	cursor := ix.cursor
 	copy(cursor, starts[:m])
-	// Stable scatter: ids stay ascending within each bucket.
-	for i := range pts {
+	// Stable scatter: ids stay ascending within each bucket. Only the 4-byte
+	// ids are scattered (small random-write working set); the bucket-major
+	// coordinate copies are then filled by a sequential pass, which keeps the
+	// write streams linear and turns the coordinate movement into overlapping
+	// 8-byte gathers.
+	for i := range xs {
 		c := ix.cellOf[i]
 		ix.ids[cursor[c]] = int32(i)
 		cursor[c]++
 	}
+	ids := ix.ids
+	cx := ix.cx[:len(ids)]
+	cy := ix.cy[:len(ids)]
+	for k, id := range ids {
+		cx[k] = xs[id]
+		cy[k] = ys[id]
+	}
 }
 
 // Point returns the indexed position of point id (valid until the next
-// Rebuild).
-func (ix *Index) Point(id int) geom.Point { return ix.pts[id] }
+// rebuild).
+func (ix *Index) Point(id int) geom.Point { return geom.Point{X: ix.xs[id], Y: ix.ys[id]} }
 
-// Points returns the index's internal copy of the point set, in id order.
-// The slice is read-only and valid until the next Rebuild.
-func (ix *Index) Points() []geom.Point { return ix.pts }
+// XS returns the index's id-ordered X-coordinate copy. The slice is
+// read-only and valid until the next rebuild.
+func (ix *Index) XS() []float64 { return ix.xs }
+
+// YS returns the index's id-ordered Y-coordinate copy.
+func (ix *Index) YS() []float64 { return ix.ys }
+
+// Points returns a freshly allocated copy of the point set in id order; a
+// compatibility accessor for cold paths and tests.
+func (ix *Index) Points() []geom.Point {
+	out := make([]geom.Point, len(ix.xs))
+	for i := range out {
+		out[i] = geom.Point{X: ix.xs[i], Y: ix.ys[i]}
+	}
+	return out
+}
+
+// CSR returns the raw bucket-major arrays: ids plus the parallel
+// coordinate copies (xs[k], ys[k] belong to point ids[k]). Combined with
+// RowSpanBounds this is the zero-overhead fast path of the flooding sweep.
+// All three slices are read-only and valid until the next rebuild.
+func (ix *Index) CSR() (ids []int32, xs, ys []float64) { return ix.ids, ix.cx, ix.cy }
 
 // Cell returns the bucket holding point id.
 func (ix *Index) Cell(id int) int { return int(ix.cellOf[id]) }
@@ -134,9 +221,9 @@ func (ix *Index) Cell(id int) int { return int(ix.cellOf[id]) }
 // CellCount returns the number of points in bucket c.
 func (ix *Index) CellCount(c int) int { return int(ix.starts[c+1] - ix.starts[c]) }
 
-func (ix *Index) bucketOf(p geom.Point) int {
-	cx := ix.clampCol(int(p.X * ix.invR))
-	cy := ix.clampCol(int(p.Y * ix.invR))
+func (ix *Index) bucketOfXY(x, y float64) int {
+	cx := ix.clampCol(int(x * ix.invR))
+	cy := ix.clampCol(int(y * ix.invR))
 	return cy*ix.cols + cx
 }
 
@@ -150,11 +237,9 @@ func (ix *Index) clampCol(c int) int {
 	return c
 }
 
-// BlockBounds returns the inclusive bucket-coordinate bounds [x0, x1] x
-// [y0, y1] of the 3x3 bucket block around q, clipped to the grid.
-func (ix *Index) BlockBounds(q geom.Point) (x0, x1, y0, y1 int) {
-	cx := ix.clampCol(int(q.X * ix.invR))
-	cy := ix.clampCol(int(q.Y * ix.invR))
+// blockBounds clips the 3x3 block around bucket coordinates (cx, cy) to
+// the grid.
+func (ix *Index) blockBounds(cx, cy int) (x0, x1, y0, y1 int) {
 	x0, x1 = cx-1, cx+1
 	if x0 < 0 {
 		x0 = 0
@@ -172,25 +257,74 @@ func (ix *Index) BlockBounds(q geom.Point) (x0, x1, y0, y1 int) {
 	return x0, x1, y0, y1
 }
 
-// RowSpan returns the ids of buckets (x0..x1, by) as one contiguous span —
-// adjacent buckets of a grid row are adjacent in the CSR ids array. Ids are
-// ascending within each bucket.
+// BlockBoundsXY returns the inclusive bucket-coordinate bounds [x0, x1] x
+// [y0, y1] of the 3x3 bucket block around (x, y), clipped to the grid.
+func (ix *Index) BlockBoundsXY(x, y float64) (x0, x1, y0, y1 int) {
+	cx := ix.clampCol(int(x * ix.invR))
+	cy := ix.clampCol(int(y * ix.invR))
+	return ix.blockBounds(cx, cy)
+}
+
+// BlockBoundsCell returns the inclusive bucket-coordinate bounds of the
+// 3x3 block around bucket c, clipped to the grid — the hoisted form the
+// bucket-major flood sweep shares with every point-query consumer.
+func (ix *Index) BlockBoundsCell(c int) (x0, x1, y0, y1 int) {
+	return ix.blockBounds(c%ix.cols, c/ix.cols)
+}
+
+// BlockBounds is BlockBoundsXY for a geom.Point query.
+func (ix *Index) BlockBounds(q geom.Point) (x0, x1, y0, y1 int) {
+	return ix.BlockBoundsXY(q.X, q.Y)
+}
+
+// RowSpanBounds returns the half-open [lo, hi) offsets into the CSR arrays
+// covering buckets (x0..x1, by) — adjacent buckets of a grid row are
+// adjacent in the arrays.
+func (ix *Index) RowSpanBounds(by, x0, x1 int) (lo, hi int32) {
+	return ix.starts[by*ix.cols+x0], ix.starts[by*ix.cols+x1+1]
+}
+
+// CellSpanBounds returns the half-open [lo, hi) offsets into the CSR
+// arrays of bucket c's own points.
+func (ix *Index) CellSpanBounds(c int) (lo, hi int32) {
+	return ix.starts[c], ix.starts[c+1]
+}
+
+// RowSpan returns the ids of buckets (x0..x1, by) as one contiguous span.
+// Ids are ascending within each bucket.
 func (ix *Index) RowSpan(by, x0, x1 int) []int32 {
-	lo := ix.starts[by*ix.cols+x0]
-	hi := ix.starts[by*ix.cols+x1+1]
+	lo, hi := ix.RowSpanBounds(by, x0, x1)
 	return ix.ids[lo:hi]
 }
 
 // BlockRows fills rows with up to three contiguous id spans covering the
-// 3x3 bucket block around q and returns the number of spans. This is the
-// closure-free fast path: callers range over raw []int32 spans and apply
-// their own distance filter against Points or their own position slice.
+// 3x3 bucket block around q and returns the number of spans. Callers that
+// also need candidate coordinates use BlockSpans instead.
 func (ix *Index) BlockRows(q geom.Point, rows *[3][]int32) int {
-	x0, x1, y0, y1 := ix.BlockBounds(q)
+	x0, x1, y0, y1 := ix.BlockBoundsXY(q.X, q.Y)
 	nr := 0
 	for by := y0; by <= y1; by++ {
 		if s := ix.RowSpan(by, x0, x1); len(s) > 0 {
 			rows[nr] = s
+			nr++
+		}
+	}
+	return nr
+}
+
+// BlockSpans fills spans with up to three contiguous CSR ranges (ids plus
+// parallel coordinates) covering the 3x3 bucket block around (x, y) and
+// returns the number of spans. This is the closure-free fast path: callers
+// stream the flat coordinate slices, branch on |dx| before touching Y, and
+// apply their own distance filter — no Point loads, no per-candidate
+// function calls.
+func (ix *Index) BlockSpans(x, y float64, spans *[3]Span) int {
+	x0, x1, y0, y1 := ix.BlockBoundsXY(x, y)
+	nr := 0
+	for by := y0; by <= y1; by++ {
+		lo, hi := ix.RowSpanBounds(by, x0, x1)
+		if lo < hi {
+			spans[nr] = Span{IDs: ix.ids[lo:hi], XS: ix.cx[lo:hi], YS: ix.cy[lo:hi]}
 			nr++
 		}
 	}
@@ -202,19 +336,25 @@ func (ix *Index) BlockRows(q geom.Point, rows *[3][]int32) int {
 // all). Iteration stops early if fn returns false.
 //
 // The closure-based visitors remain for cold paths and tests; hot loops use
-// BlockRows to avoid per-candidate function calls.
+// BlockSpans/CSR to avoid per-candidate function calls.
 func (ix *Index) VisitNeighbors(q geom.Point, exclude int, fn func(id int, p geom.Point) bool) {
-	r2 := ix.radius * ix.radius
-	var rows [3][]int32
-	nr := ix.BlockRows(q, &rows)
+	r := ix.radius
+	r2 := r * r
+	var spans [3]Span
+	nr := ix.BlockSpans(q.X, q.Y, &spans)
 	for ri := 0; ri < nr; ri++ {
-		for _, id := range rows[ri] {
+		s := spans[ri]
+		for k, id := range s.IDs {
 			if int(id) == exclude {
 				continue
 			}
-			p := ix.pts[id]
-			if p.Dist2(q) <= r2 {
-				if !fn(int(id), p) {
+			dx := s.XS[k] - q.X
+			if dx > r || dx < -r {
+				continue
+			}
+			dy := s.YS[k] - q.Y
+			if dx*dx+dy*dy <= r2 {
+				if !fn(int(id), geom.Point{X: s.XS[k], Y: s.YS[k]}) {
 					return
 				}
 			}
@@ -226,12 +366,19 @@ func (ix *Index) VisitNeighbors(q geom.Point, exclude int, fn func(id int, p geo
 // of q, excluding the point with id exclude (pass -1 to keep all). The
 // result is appended to dst to allow allocation reuse.
 func (ix *Index) Neighbors(q geom.Point, exclude int, dst []int) []int {
-	r2 := ix.radius * ix.radius
-	var rows [3][]int32
-	nr := ix.BlockRows(q, &rows)
+	r := ix.radius
+	r2 := r * r
+	var spans [3]Span
+	nr := ix.BlockSpans(q.X, q.Y, &spans)
 	for ri := 0; ri < nr; ri++ {
-		for _, id := range rows[ri] {
-			if int(id) != exclude && ix.pts[id].Dist2(q) <= r2 {
+		s := spans[ri]
+		for k, id := range s.IDs {
+			dx := s.XS[k] - q.X
+			if dx > r || dx < -r || int(id) == exclude {
+				continue
+			}
+			dy := s.YS[k] - q.Y
+			if dx*dx+dy*dy <= r2 {
 				dst = append(dst, int(id))
 			}
 		}
@@ -242,13 +389,20 @@ func (ix *Index) Neighbors(q geom.Point, exclude int, dst []int) []int {
 // CountNeighbors returns the number of indexed points within the radius of
 // q, excluding the point with id exclude (pass -1 to keep all).
 func (ix *Index) CountNeighbors(q geom.Point, exclude int) int {
-	r2 := ix.radius * ix.radius
-	var rows [3][]int32
-	nr := ix.BlockRows(q, &rows)
+	r := ix.radius
+	r2 := r * r
+	var spans [3]Span
+	nr := ix.BlockSpans(q.X, q.Y, &spans)
 	n := 0
 	for ri := 0; ri < nr; ri++ {
-		for _, id := range rows[ri] {
-			if int(id) != exclude && ix.pts[id].Dist2(q) <= r2 {
+		s := spans[ri]
+		for k, id := range s.IDs {
+			dx := s.XS[k] - q.X
+			if dx > r || dx < -r || int(id) == exclude {
+				continue
+			}
+			dy := s.YS[k] - q.Y
+			if dx*dx+dy*dy <= r2 {
 				n++
 			}
 		}
@@ -259,12 +413,19 @@ func (ix *Index) CountNeighbors(q geom.Point, exclude int) int {
 // HasNeighborWhere reports whether some indexed point within the radius of
 // q (excluding exclude) satisfies pred. It short-circuits on the first hit.
 func (ix *Index) HasNeighborWhere(q geom.Point, exclude int, pred func(id int) bool) bool {
-	r2 := ix.radius * ix.radius
-	var rows [3][]int32
-	nr := ix.BlockRows(q, &rows)
+	r := ix.radius
+	r2 := r * r
+	var spans [3]Span
+	nr := ix.BlockSpans(q.X, q.Y, &spans)
 	for ri := 0; ri < nr; ri++ {
-		for _, id := range rows[ri] {
-			if int(id) != exclude && ix.pts[id].Dist2(q) <= r2 && pred(int(id)) {
+		s := spans[ri]
+		for k, id := range s.IDs {
+			dx := s.XS[k] - q.X
+			if dx > r || dx < -r || int(id) == exclude {
+				continue
+			}
+			dy := s.YS[k] - q.Y
+			if dx*dx+dy*dy <= r2 && pred(int(id)) {
 				return true
 			}
 		}

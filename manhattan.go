@@ -199,9 +199,10 @@ func (s *Simulation) Step() { s.w.Step() }
 
 // Positions returns a copy of all agent positions.
 func (s *Simulation) Positions() []Point {
+	xs, ys := s.w.X(), s.w.Y()
 	out := make([]Point, s.w.N())
-	for i, p := range s.w.Positions() {
-		out[i] = Point{p.X, p.Y}
+	for i := range out {
+		out[i] = Point{xs[i], ys[i]}
 	}
 	return out
 }
