@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test bench bench-json bench-compare clean
+.PHONY: ci fmt vet build test bench bench-json bench-compare docs clean
 
 # ci is the tier-1 gate: formatting, static checks, build, tests, the
-# short hot-loop benchmark smoke run, and the benchmark regression gate
-# against the committed trajectory file.
-ci: fmt vet build test bench bench-compare
+# short hot-loop benchmark smoke run, the benchmark regression gate
+# against the committed trajectory file, and the docs gate.
+ci: fmt vet build test bench bench-compare docs
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -30,7 +30,7 @@ bench:
 # BENCH_BASELINE is the benchmark trajectory file bench-json writes and
 # bench-compare diffs against; the committed default was recorded on the
 # reference machine (see its go_version/gomaxprocs header).
-BENCH_BASELINE ?= BENCH_2.json
+BENCH_BASELINE ?= BENCH_3.json
 
 # bench-json regenerates the benchmark trajectory file.
 bench-json:
@@ -44,6 +44,11 @@ bench-json:
 # then make ci BENCH_BASELINE=/tmp/b.json) or skip this target.
 bench-compare:
 	$(GO) run ./cmd/bench -out /tmp/bench_head.json -compare $(BENCH_BASELINE)
+
+# docs verifies that every package carries a doc comment and that the
+# links in README.md / ARCHITECTURE.md resolve.
+docs:
+	$(GO) run ./cmd/docscheck
 
 clean:
 	$(GO) clean ./...

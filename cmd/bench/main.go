@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_2.json] [-compare OLD.json]
+//	bench [-out BENCH_3.json] [-compare OLD.json]
 //
 // Each entry reports ns/op, B/op and allocs/op as measured by
 // testing.Benchmark. With -compare the run is diffed against a previously
@@ -12,7 +12,8 @@
 // regressed by more than 20% fails the run (non-zero exit), which is the
 // CI regression gate (`make ci`). The committed BENCH_1.json carries the
 // seed engine's numbers as baseline_ns_per_op; BENCH_2.json is the
-// SoA-engine trajectory this gate compares against.
+// SoA-engine trajectory, and BENCH_3.json — the delta-index trajectory —
+// is what the gate compares against by default.
 package main
 
 import (
@@ -72,7 +73,7 @@ var baselines = map[string]float64{
 const maxRegression = 1.20
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	out := flag.String("out", "BENCH_3.json", "output JSON path")
 	compare := flag.String("compare", "", "previously committed BENCH_N.json to diff against; >20% ns/op regressions exit non-zero")
 	flag.Parse()
 
@@ -85,6 +86,7 @@ func main() {
 		{"flood_step_4k_chained", benchFloodStep(4000, true)},
 		{"flood_step_20k", benchFloodStep(20000, false)},
 		{"index_rebuild_10k", benchIndexRebuild(10000)},
+		{"index_update_10k", benchIndexUpdate(10000)},
 		{"index_neighbors_10k", benchIndexNeighbors(10000)},
 		{"full_flood_2k", benchFullFlood(2000)},
 		{"sweep_trials_e03", benchSweepTrials(true)},
@@ -250,6 +252,45 @@ func benchIndexRebuild(n int) func(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			ix.Rebuild(pts)
+		}
+	}
+}
+
+// benchIndexUpdate measures the delta-update path against real mobility
+// kinematics: two consecutive position frames of an MRWP world at the
+// E03-default velocity (v=0.1, R=4 — about a 2.5% bucket-mover fraction
+// per step) are replayed through Index.Update in ping-pong order, so every
+// transition is exactly one mobility step's displacement and the frames
+// stay cache-resident, as the simulator's single live coordinate array
+// does. This is the workload World.Step runs on the slow-agent sweeps
+// (E03/E04/E11); compare with index_rebuild_10k for the full counting
+// sort it replaces there.
+func benchIndexUpdate(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		const l, r = 100.0, 4.0
+		w, err := sim.NewWorld(sim.Params{N: n, L: l, R: r, V: 0.1, Seed: 7}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ax := append([]float64(nil), w.X()...)
+		ay := append([]float64(nil), w.Y()...)
+		w.Step()
+		bx := append([]float64(nil), w.X()...)
+		by := append([]float64(nil), w.Y()...)
+		ix, err := spatialindex.New(l, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix.RebuildXY(ax, ay)
+		ix.Update(bx, by, nil)
+		ix.Update(ax, ay, nil) // warm the delta scratch
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%2 == 0 {
+				ix.Update(bx, by, nil)
+			} else {
+				ix.Update(ax, ay, nil)
+			}
 		}
 	}
 }

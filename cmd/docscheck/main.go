@@ -1,0 +1,148 @@
+// Command docscheck is the repository's documentation gate, run by `make
+// ci`. It enforces two invariants that keep the codebase legible as it
+// grows:
+//
+//  1. Every Go package in the repository — internal/, cmd/, examples/ and
+//     the root library package — carries a package (or command) doc
+//     comment on at least one of its files.
+//
+//  2. Every relative link and bare file reference in the top-level
+//     markdown docs (README.md, ARCHITECTURE.md, and any file passed as
+//     an argument) resolves to an existing file, so the docs cannot
+//     silently rot as files move.
+//
+// Usage:
+//
+//	docscheck [-root DIR] [extra.md ...]
+//
+// Exits non-zero listing every violation. It has no dependencies beyond
+// the standard library, so the gate costs nothing to run anywhere the
+// repo builds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+
+	var problems []string
+	problems = append(problems, checkPackageDocs(*root)...)
+
+	docs := []string{"README.md", "ARCHITECTURE.md"}
+	docs = append(docs, flag.Args()...)
+	for _, doc := range docs {
+		problems = append(problems, checkDocLinks(*root, doc)...)
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "docscheck:", p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: ok (package docs present, doc links resolve)")
+}
+
+// checkPackageDocs walks every directory under root containing Go files
+// and reports those whose package has no doc comment on any file.
+func checkPackageDocs(root string) []string {
+	byDir := map[string]bool{} // dir -> has a package doc comment
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		seen[dir] = true
+		if byDir[dir] {
+			return nil // already satisfied by another file
+		}
+		fset := token.NewFileSet()
+		f, perr := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("parsing %s: %w", path, perr)
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			byDir[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var problems []string
+	for dir := range seen {
+		if !byDir[dir] {
+			rel, rerr := filepath.Rel(root, dir)
+			if rerr != nil {
+				rel = dir
+			}
+			problems = append(problems, fmt.Sprintf("package in %s has no package doc comment", rel))
+		}
+	}
+	return problems
+}
+
+// linkRe matches markdown links [text](target) (images included).
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// fileRefRe matches bare backticked repo file references like
+// `internal/sim/world.go` or `BENCH_3.json` — paths with an extension we
+// track, no spaces.
+var fileRefRe = regexp.MustCompile("`([A-Za-z0-9_./-]+\\.(?:go|md|json|mk|mod))`")
+
+// checkDocLinks verifies that every relative link and backticked file
+// reference in the markdown file resolves under root. External targets
+// (scheme://, mailto:, #fragment) are skipped.
+func checkDocLinks(root, doc string) []string {
+	path := filepath.Join(root, doc)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return []string{fmt.Sprintf("%s is missing", doc)}
+		}
+		return []string{err.Error()}
+	}
+	var problems []string
+	check := func(target string) {
+		if target == "" ||
+			strings.Contains(target, "://") ||
+			strings.HasPrefix(target, "mailto:") ||
+			strings.HasPrefix(target, "#") {
+			return
+		}
+		target = strings.SplitN(target, "#", 2)[0] // strip fragment
+		if _, err := os.Stat(filepath.Join(root, target)); err != nil {
+			problems = append(problems, fmt.Sprintf("%s references %q, which does not exist", doc, target))
+		}
+	}
+	for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+		check(m[1])
+	}
+	for _, m := range fileRefRe.FindAllStringSubmatch(string(data), -1) {
+		check(m[1])
+	}
+	return problems
+}

@@ -141,8 +141,14 @@ func (p *Partition) IsCentral(cx, cy int) bool {
 // CellOf returns the cell indices containing point pt, clamping boundary
 // points inward.
 func (p *Partition) CellOf(pt geom.Point) (cx, cy int) {
-	cx = int(pt.X / p.ell)
-	cy = int(pt.Y / p.ell)
+	return p.CellOfXY(pt.X, pt.Y)
+}
+
+// CellOfXY is CellOf for structure-of-arrays callers that hold flat
+// coordinates rather than a geom.Point.
+func (p *Partition) CellOfXY(x, y float64) (cx, cy int) {
+	cx = int(x / p.ell)
+	cy = int(y / p.ell)
 	if cx >= p.m {
 		cx = p.m - 1
 	}
@@ -306,6 +312,58 @@ func (p *Partition) CountPerCell(pts []geom.Point) []int {
 		counts[cy*p.m+cx]++
 	}
 	return counts
+}
+
+// CountPerCellXY bins the structure-of-arrays point set (xs[i], ys[i])
+// into cells, returning row-major counts. It reuses counts when its
+// capacity suffices (clearing it first), so per-step callers — the
+// E18 mixing loop binning a live sim.World every step — stay
+// allocation-free after the first call; pass nil to allocate. The result
+// is element-wise identical to CountPerCell on the same points.
+func (p *Partition) CountPerCellXY(xs, ys []float64, counts []int) []int {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("cells: coordinate slices disagree: len(xs)=%d len(ys)=%d", len(xs), len(ys)))
+	}
+	counts = p.resetCounts(counts)
+	for i := range xs {
+		cx, cy := p.CellOfXY(xs[i], ys[i])
+		counts[cy*p.m+cx]++
+	}
+	return counts
+}
+
+// CoreOccupancyCZXY bins the structure-of-arrays point set into Central
+// Zone cell cores: counts[cy*M+cx] is the number of points inside the core
+// of CZ cell (cx, cy), and zero for Suburb cells. Like CountPerCellXY it
+// reuses counts when possible, keeping the per-step density-condition
+// measurement (E12) snapshot- and allocation-free.
+func (p *Partition) CoreOccupancyCZXY(xs, ys []float64, counts []int) []int {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("cells: coordinate slices disagree: len(xs)=%d len(ys)=%d", len(xs), len(ys)))
+	}
+	counts = p.resetCounts(counts)
+	for i := range xs {
+		cx, cy := p.CellOfXY(xs[i], ys[i])
+		if !p.central[cy*p.m+cx] {
+			continue
+		}
+		if (geom.Point{X: xs[i], Y: ys[i]}).In(p.CoreRect(cx, cy)) {
+			counts[cy*p.m+cx]++
+		}
+	}
+	return counts
+}
+
+// resetCounts returns a zeroed row-major counts slice, reusing dst's
+// backing array when it is large enough.
+func (p *Partition) resetCounts(dst []int) []int {
+	need := p.m * p.m
+	if cap(dst) < need {
+		return make([]int, need)
+	}
+	dst = dst[:need]
+	clear(dst)
+	return dst
 }
 
 // MinCoreAgentsCZ returns the minimum, over all Central Zone cells, of the

@@ -1,0 +1,118 @@
+package cells
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"manhattanflood/internal/geom"
+	"manhattanflood/internal/sim"
+)
+
+// randomConfig draws a random partition plus a random point set (including
+// boundary points, which exercise the inward clamping).
+func randomConfig(t *testing.T, rng *rand.Rand) (*Partition, []geom.Point, []float64, []float64) {
+	t.Helper()
+	l := 10 + rng.Float64()*90
+	r := l * (0.05 + rng.Float64()*0.5)
+	n := 50 + rng.IntN(400)
+	p, err := NewPartition(l, r, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]geom.Point, n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range pts {
+		x, y := rng.Float64()*l, rng.Float64()*l
+		switch rng.IntN(20) {
+		case 0:
+			x = 0
+		case 1:
+			x = l // boundary: must clamp into the last column
+		case 2:
+			y = l
+		}
+		pts[i] = geom.Pt(x, y)
+		xs[i], ys[i] = x, y
+	}
+	return p, pts, xs, ys
+}
+
+// CountPerCellXY must agree element-wise with the []geom.Point path on
+// random configurations.
+func TestCountPerCellXYMatchesPoints(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 8))
+	var reuse []int
+	for trial := 0; trial < 30; trial++ {
+		p, pts, xs, ys := randomConfig(t, rng)
+		want := p.CountPerCell(pts)
+		reuse = p.CountPerCellXY(xs, ys, reuse)
+		if len(reuse) != len(want) {
+			t.Fatalf("trial %d: len %d != %d", trial, len(reuse), len(want))
+		}
+		for i := range want {
+			if reuse[i] != want[i] {
+				t.Fatalf("trial %d: counts[%d] = %d, want %d", trial, i, reuse[i], want[i])
+			}
+		}
+	}
+}
+
+// CoreOccupancyCZXY must agree with a per-point reference using the
+// existing CellOf/IsCentral/CoreRect primitives, and its minimum over CZ
+// cells must match MinCoreAgentsCZ.
+func TestCoreOccupancyCZXYMatchesPoints(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 77))
+	var reuse []int
+	for trial := 0; trial < 30; trial++ {
+		p, pts, xs, ys := randomConfig(t, rng)
+		want := make([]int, p.M()*p.M())
+		for _, pt := range pts {
+			cx, cy := p.CellOf(pt)
+			if p.IsCentral(cx, cy) && pt.In(p.CoreRect(cx, cy)) {
+				want[cy*p.M()+cx]++
+			}
+		}
+		reuse = p.CoreOccupancyCZXY(xs, ys, reuse)
+		for i := range want {
+			if reuse[i] != want[i] {
+				t.Fatalf("trial %d: core counts[%d] = %d, want %d", trial, i, reuse[i], want[i])
+			}
+		}
+		if p.CentralCount() > 0 {
+			min := int(^uint(0) >> 1)
+			for cy := 0; cy < p.M(); cy++ {
+				for cx := 0; cx < p.M(); cx++ {
+					if p.IsCentral(cx, cy) && reuse[cy*p.M()+cx] < min {
+						min = reuse[cy*p.M()+cx]
+					}
+				}
+			}
+			if got := p.MinCoreAgentsCZ(pts); got != min {
+				t.Fatalf("trial %d: MinCoreAgentsCZ = %d, XY min = %d", trial, got, min)
+			}
+		}
+	}
+}
+
+// The E12/E18 per-step binning ops must be snapshot-free: binning a live
+// world's coordinate slices with a warm counts buffer allocates nothing.
+func TestPerStepBinningAllocationFree(t *testing.T) {
+	w, err := sim.NewWorld(sim.Params{N: 800, L: 28, R: 5, V: 0.3, Seed: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPartition(28, 5, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := p.CountPerCellXY(w.X(), w.Y(), nil)  // warm (E18 op)
+	core := p.CoreOccupancyCZXY(w.X(), w.Y(), nil) // warm (E12 op)
+	if avg := testing.AllocsPerRun(20, func() {
+		w.Step()
+		counts = p.CountPerCellXY(w.X(), w.Y(), counts)
+		core = p.CoreOccupancyCZXY(w.X(), w.Y(), core)
+	}); avg > 0 {
+		t.Errorf("per-step binning allocates %v times per step, want 0", avg)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"manhattanflood/internal/cells"
-	"manhattanflood/internal/geom"
 	"manhattanflood/internal/sim"
 	"manhattanflood/internal/trace"
 )
@@ -56,6 +55,7 @@ func E12DensityCondition(cfg Config) (E12Result, error) {
 
 	type tracker struct {
 		part    *cells.Partition
+		counts  []int // reusable core-occupancy buffer (SoA binning)
 		minCore int
 		sumCore float64
 		samples int
@@ -74,23 +74,17 @@ func E12DensityCondition(cfg Config) (E12Result, error) {
 			if tr.part.CentralCount() == 0 {
 				continue
 			}
-			// One pass over agents: bin into CZ cores.
-			counts := make([]int, tr.part.M()*tr.part.M())
-			xs, ys := w.X(), w.Y()
-			for i := range xs {
-				p := geom.Pt(xs[i], ys[i])
-				cx, cy := tr.part.CellOf(p)
-				if tr.part.IsCentral(cx, cy) && p.In(tr.part.CoreRect(cx, cy)) {
-					counts[cy*tr.part.M()+cx]++
-				}
-			}
+			// One pass over the live coordinate slices: bin into CZ cores.
+			// The counts buffer is reused across steps, so the sampling
+			// loop takes no per-step snapshot and no per-step allocation.
+			tr.counts = tr.part.CoreOccupancyCZXY(w.X(), w.Y(), tr.counts)
 			min, total := math.MaxInt, 0
 			for cy := 0; cy < tr.part.M(); cy++ {
 				for cx := 0; cx < tr.part.M(); cx++ {
 					if !tr.part.IsCentral(cx, cy) {
 						continue
 					}
-					c := counts[cy*tr.part.M()+cx]
+					c := tr.counts[cy*tr.part.M()+cx]
 					total += c
 					if c < min {
 						min = c

@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"manhattanflood/internal/cells"
-	"manhattanflood/internal/geom"
 	"manhattanflood/internal/sim"
 	"manhattanflood/internal/stats"
 	"manhattanflood/internal/trace"
@@ -66,13 +65,9 @@ func E18SnapshotDependence(cfg Config) (E18Result, error) {
 			return res, err
 		}
 		series := make([][]float64, len(tracked))
-		pts := make([]geom.Point, n) // reused point buffer for CountPerCell
+		var counts []int // reused across steps; no per-step snapshot or alloc
 		for s := 0; s < horizon; s++ {
-			xs, ys := w.X(), w.Y()
-			for i := range pts {
-				pts[i] = geom.Point{X: xs[i], Y: ys[i]}
-			}
-			counts := part.CountPerCell(pts)
+			counts = part.CountPerCellXY(w.X(), w.Y(), counts)
 			for ci, c := range tracked {
 				series[ci] = append(series[ci], float64(counts[c[1]*part.M()+c[0]]))
 			}

@@ -44,8 +44,22 @@ type Agent interface {
 // never pay a second interface call (Pos) per agent per step. Agent
 // stepping itself is untouched — the view only routes the final write — so
 // trajectories are bit-identical to the unbound path.
+//
+// Dirty, when non-nil, is the per-agent dirty bitmap the simulator hands
+// to the spatial index's delta-update path: every publish sets
+// Dirty[slot], and an agent that did not move at all this step (a
+// way-point agent resting out its pause) skips publishing — its slot
+// already holds the right coordinates — leaving its bit clear, so the
+// index can skip untouched agents entirely. Setting the bit
+// unconditionally in publish keeps the mobility inner loop store-only
+// (no load-compare per agent); the "did I move" test lives with the one
+// model that can rest, on its own cache-hot state. The simulator owns
+// the bitmap and clears it before stepping the population; agents only
+// ever write their own slot and bit, which keeps parallel stepping
+// race-free.
 type View struct {
-	X, Y []float64
+	X, Y  []float64
+	Dirty []bool
 }
 
 // SlotWriter is implemented by agents that can scatter their position
@@ -71,12 +85,18 @@ type slotSink struct {
 // bind attaches the view slot.
 func (s *slotSink) bind(v View, slot int) { s.out, s.slot = v, slot }
 
-// publish scatters (x, y) into the bound slot, if any.
+// publish scatters (x, y) into the bound slot, if any, and marks the slot
+// dirty. Agents that know they did not move this step skip the call and
+// leave their bit clear (see View.Dirty).
 func (s *slotSink) publish(x, y float64) {
-	if s.out.X != nil {
-		s.out.X[s.slot] = x
-		s.out.Y[s.slot] = y
+	if s.out.X == nil {
+		return
 	}
+	if s.out.Dirty != nil {
+		s.out.Dirty[s.slot] = true
+	}
+	s.out.X[s.slot] = x
+	s.out.Y[s.slot] = y
 }
 
 // ReinitModel is implemented by models that can re-draw an existing agent

@@ -171,6 +171,13 @@ func (a *PausedAgent) Step() {
 		a.setPath(geom.NewLPath(src, dst, randOrder(a.rng)))
 		a.travelled = 0
 	}
-	a.pos = a.path.At(a.travelled).Clamp(a.cfg.L)
-	a.publish(a.pos.X, a.pos.Y)
+	np := a.path.At(a.travelled).Clamp(a.cfg.L)
+	if np == a.pos {
+		// Rested through the whole step: the bound slot already holds
+		// this position, and skipping the publish keeps the dirty bit
+		// clear so the spatial index's delta update skips the agent too.
+		return
+	}
+	a.pos = np
+	a.publish(np.X, np.Y)
 }

@@ -1,6 +1,6 @@
 // Package sim provides the discrete-time simulation engine: a World of n
-// agents driven by a mobility model in lockstep, with a rebuilt
-// fixed-radius neighbor index per step and deterministic seeding.
+// agents driven by a mobility model in lockstep, with a fixed-radius
+// neighbor index kept in sync every step and deterministic seeding.
 //
 // The engine is deliberately protocol-agnostic; the flooding process (the
 // paper's subject) lives in internal/core and observes the World through
@@ -18,6 +18,14 @@
 // step. X and Y expose the live slices (valid snapshots only until the
 // next Step/Reset); Positions allocates a point snapshot for cold paths
 // (traces, examples) that remains valid forever.
+//
+// The slot writes double as dirty-bit collection: an agent whose publish
+// leaves its coordinates unchanged (a paused way-point agent) keeps its
+// dirty bit clear, and Step hands the bitmap to the neighbor index's
+// delta-update path (spatialindex.Index.Update), which skips clean agents
+// and patches only the buckets that actually changed — falling back to the
+// full counting-sort rebuild when too many agents moved bucket. The
+// resulting index state is bit-identical to a fresh rebuild either way.
 //
 // # Reset and world pooling
 //
@@ -124,6 +132,18 @@ func RandomDirectionFactory() ModelFactory {
 // seedStride separates per-agent PCG streams split from the world seed.
 const seedStride = 0x9e3779b97f4a7c15
 
+// deltaUpdateMaxMoverFraction is the predicted per-step bucket-mover
+// fraction below which Step maintains the neighbor index incrementally
+// (spatialindex.Index.Update) instead of re-running the counting sort. An
+// agent moves at most V per step against a bucket side of R, so the mover
+// fraction of the moving population is about V/R; the delta patch and the
+// full rebuild were measured to cross near 5% movers on the reference
+// machine (see BENCH_3.json: index_update_10k vs index_rebuild_10k and
+// the Update10k{Slow,Mid,Hot} benchmarks in internal/spatialindex).
+// Either path yields bit-identical index state; this constant only picks
+// the cheaper one.
+const deltaUpdateMaxMoverFraction = 0.05
+
 // World is a population of agents stepped in lockstep.
 type World struct {
 	params Params
@@ -132,6 +152,7 @@ type World struct {
 	rngs   []*rand.Rand
 	pcgs   []*rand.PCG
 	x, y   []float64 // SoA positions, indexed by agent id
+	dirty  []bool    // agents whose position changed this step (bound mode)
 	bound  bool      // every agent writes its slot itself (SlotWriter)
 	index  *spatialindex.Index
 	step   int
@@ -162,10 +183,11 @@ func NewWorld(p Params, factory ModelFactory) (*World, error) {
 		pcgs:   make([]*rand.PCG, p.N),
 		x:      make([]float64, p.N),
 		y:      make([]float64, p.N),
+		dirty:  make([]bool, p.N),
 		index:  ix,
 		bound:  true,
 	}
-	view := mobility.View{X: w.x, Y: w.y}
+	view := mobility.View{X: w.x, Y: w.y, Dirty: w.dirty}
 	for i := range w.agents {
 		// Independent per-agent PCG streams split from the world seed.
 		w.pcgs[i] = rand.NewPCG(p.Seed, uint64(i)+seedStride)
@@ -194,7 +216,7 @@ func NewWorld(p Params, factory ModelFactory) (*World, error) {
 func (w *World) Reset(seed uint64) {
 	w.params.Seed = seed
 	rm, _ := w.model.(mobility.ReinitModel)
-	view := mobility.View{X: w.x, Y: w.y}
+	view := mobility.View{X: w.x, Y: w.y, Dirty: w.dirty}
 	for i := range w.agents {
 		w.pcgs[i].Seed(seed, uint64(i)+seedStride)
 		if rm != nil && rm.ReinitAgent(w.agents[i], w.rngs[i]) {
@@ -233,11 +255,20 @@ func (w *World) N() int { return len(w.agents) }
 // Time returns the number of steps taken so far.
 func (w *World) Time() int { return w.step }
 
-// Step advances every agent by one time unit and rebuilds the neighbor
-// index. With Params.Workers > 1 the agent moves run on that many
-// goroutines; the result is bit-identical to sequential stepping because
-// agents are fully independent.
+// Step advances every agent by one time unit and re-synchronizes the
+// neighbor index. The index is maintained incrementally: agents move at
+// most V per step, so most keep their grid bucket, and the world feeds the
+// index's delta-update path the per-agent dirty bits collected by the
+// mobility layer during the move (spatialindex.Index.Update; bit-identical
+// to a full rebuild, with an automatic counting-sort fallback when too
+// many agents changed bucket). With Params.Workers > 1 the agent moves run
+// on that many goroutines; the result is bit-identical to sequential
+// stepping because agents are fully independent and each writes only its
+// own position slot and dirty bit.
 func (w *World) Step() {
+	if w.bound {
+		clear(w.dirty)
+	}
 	switch {
 	case w.params.Workers > 1 && len(w.agents) >= 2*w.params.Workers:
 		w.stepParallel()
@@ -254,8 +285,53 @@ func (w *World) Step() {
 			w.x[i], w.y[i] = p.X, p.Y
 		}
 	}
-	w.index.RebuildXY(w.x, w.y)
+	w.syncIndex()
 	w.step++
+}
+
+// syncIndex re-synchronizes the neighbor index with the stepped positions,
+// choosing between the delta patch and the full counting-sort rebuild by
+// predicted mover fraction (movers ~= moving agents * V/R). Both paths
+// produce bit-identical index state.
+func (w *World) syncIndex() {
+	vOverR := w.params.V / w.params.R
+	if !w.bound {
+		// Third-party agents bypass the view, so there are no dirty bits
+		// to exploit; pick the path on V/R alone.
+		if vOverR <= deltaUpdateMaxMoverFraction {
+			w.index.Update(w.x, w.y, nil)
+		} else {
+			w.index.RebuildXY(w.x, w.y)
+		}
+		return
+	}
+	if vOverR <= deltaUpdateMaxMoverFraction {
+		// Slow agents: the delta patch wins even if everyone moved. The
+		// dirty bitmap (exact, since every position write flowed through a
+		// bound slot) lets the index skip resting agents entirely.
+		w.index.Update(w.x, w.y, w.dirty)
+		return
+	}
+	// Fast agents: only worth patching when enough of the population sat
+	// out the step (way-point pauses). Estimate the moving fraction from a
+	// strided sample of the dirty bitmap — the decision has a 2x margin
+	// either way, so a rough estimate suffices and the common
+	// everyone-moves case does not pay a full O(n) scan.
+	n := len(w.dirty)
+	const stride = 16
+	moving := 0
+	sampled := 0
+	for i := 0; i < n; i += stride {
+		sampled++
+		if w.dirty[i] {
+			moving++
+		}
+	}
+	if float64(moving)*vOverR <= deltaUpdateMaxMoverFraction*float64(sampled) {
+		w.index.Update(w.x, w.y, w.dirty)
+	} else {
+		w.index.RebuildXY(w.x, w.y)
+	}
 }
 
 func (w *World) stepParallel() {

@@ -36,6 +36,22 @@
 // valid when the caller mutates or reuses its slices afterwards (sim.World
 // rewrites its X/Y slices in place every step).
 //
+// # Delta maintenance
+//
+// Between consecutive simulation steps most points keep their bucket
+// (agents move at most V per step against a bucket side of R), so a full
+// counting sort re-derives mostly unchanged structure. Update (update.go)
+// is the incremental path: it classifies each point as moved-in-place
+// (coordinates refreshed, CSR position untouched) or mover (bucket
+// changed), patches starts from the per-bucket occupancy deltas, and
+// merges the movers into the ids and cx/cy arrays in one sequential
+// sweep. Unlike Rebuild it also retains the caller's coordinate slices as
+// the id-indexed view instead of copying them. The post-state is
+// bit-identical to a full RebuildXY, and the index falls back to the
+// counting sort automatically when the moved fraction crosses
+// UpdateFallbackFraction. sim.World.Step drives this path, feeding it
+// per-agent dirty bits from the mobility layer.
+//
 // An intentionally naive O(n^2) reference implementation (Brute) backs the
 // property tests.
 package spatialindex
@@ -47,20 +63,37 @@ import (
 	"manhattanflood/internal/geom"
 )
 
-// Index is a uniform-grid fixed-radius neighbor index in CSR form. Build it
-// once per simulation step with RebuildXY (or Rebuild); queries are
-// read-only and may run concurrently after a rebuild completes.
+// Index is a uniform-grid fixed-radius neighbor index in CSR form.
+// Re-synchronize it once per simulation step — with RebuildXY (or Rebuild)
+// for a full counting sort, or Update for the delta patch; queries are
+// read-only and may run concurrently after the rebuild or update
+// completes.
 type Index struct {
 	side   float64
 	radius float64
 	invR   float64
 	cols   int
-	starts []int32   // bucket -> offset into ids; len cols*cols + 1
-	ids    []int32   // point ids in bucket-major order, ascending per bucket
-	cellOf []int32   // point id -> bucket
-	cursor []int32   // counting-sort scratch
-	xs, ys []float64 // id-indexed coordinate copies
-	cx, cy []float64 // bucket-major coordinates, parallel to ids
+	starts []int32 // bucket -> offset into ids; len cols*cols + 1
+	ids    []int32 // point ids in bucket-major order, ascending per bucket
+	cellOf []int32 // point id -> bucket
+	cursor []int32 // counting-sort scratch
+	// xs/ys are the current id-indexed coordinate view: the owned copies
+	// (ownXs/ownYs) after a Rebuild, or the caller's retained slices after
+	// an Update.
+	xs, ys       []float64
+	ownXs, ownYs []float64 // owned copy buffers for the Rebuild path
+	cx, cy       []float64 // bucket-major coordinates, parallel to ids
+
+	// Delta-update scratch (see Update in update.go).
+	idsAlt       []int32 // emit-sweep target, ping-ponged with ids
+	startsAlt    []int32 // new offsets, ping-ponged with starts
+	slab         []int32 // one-memclr backing for delta/ocount/mstarts
+	mstarts      []int32 // movers-per-destination-bucket offsets
+	ocount       []int32 // per-bucket departure counts this update
+	delta        []int32 // per-bucket occupancy change this update
+	movers       []int32 // ids whose bucket changed, ascending
+	moversByCell []int32 // movers grouped by destination, ascending ids
+	moved        []bool  // id -> bucket changed this update (reset per update)
 }
 
 // Span is one contiguous CSR range: parallel id and coordinate slices
@@ -106,20 +139,25 @@ func (ix *Index) Cols() int { return ix.cols }
 func (ix *Index) NumCells() int { return ix.cols * ix.cols }
 
 // ensure sizes the per-point arrays for n points without allocating in the
-// steady state.
+// steady state, and installs the owned coordinate buffers as the current
+// view (the Rebuild path copies into them).
 func (ix *Index) ensure(n int) {
+	if cap(ix.ownXs) < n {
+		ix.ownXs = make([]float64, n)
+		ix.ownYs = make([]float64, n)
+	}
+	ix.ownXs = ix.ownXs[:n]
+	ix.ownYs = ix.ownYs[:n]
+	ix.xs = ix.ownXs
+	ix.ys = ix.ownYs
 	if cap(ix.cellOf) < n {
 		ix.cellOf = make([]int32, n)
 		ix.ids = make([]int32, n)
-		ix.xs = make([]float64, n)
-		ix.ys = make([]float64, n)
 		ix.cx = make([]float64, n)
 		ix.cy = make([]float64, n)
 	}
 	ix.cellOf = ix.cellOf[:n]
 	ix.ids = ix.ids[:n]
-	ix.xs = ix.xs[:n]
-	ix.ys = ix.ys[:n]
 	ix.cx = ix.cx[:n]
 	ix.cy = ix.cy[:n]
 }
@@ -189,14 +227,15 @@ func (ix *Index) rebuildOwned() {
 }
 
 // Point returns the indexed position of point id (valid until the next
-// rebuild).
+// rebuild or update).
 func (ix *Index) Point(id int) geom.Point { return geom.Point{X: ix.xs[id], Y: ix.ys[id]} }
 
-// XS returns the index's id-ordered X-coordinate copy. The slice is
-// read-only and valid until the next rebuild.
+// XS returns the index's id-ordered X-coordinate view. The slice is
+// read-only and valid until the next rebuild or update; after an Update it
+// aliases the caller's coordinate slice rather than a copy.
 func (ix *Index) XS() []float64 { return ix.xs }
 
-// YS returns the index's id-ordered Y-coordinate copy.
+// YS returns the index's id-ordered Y-coordinate view.
 func (ix *Index) YS() []float64 { return ix.ys }
 
 // Points returns a freshly allocated copy of the point set in id order; a
@@ -212,7 +251,10 @@ func (ix *Index) Points() []geom.Point {
 // CSR returns the raw bucket-major arrays: ids plus the parallel
 // coordinate copies (xs[k], ys[k] belong to point ids[k]). Combined with
 // RowSpanBounds this is the zero-overhead fast path of the flooding sweep.
-// All three slices are read-only and valid until the next rebuild.
+// All three slices are read-only and valid only until the next rebuild or
+// update — Update ping-pongs the ids array and rewrites the coordinate
+// streams in place, so a held slice goes stale (or silently inconsistent)
+// the moment the index is re-synchronized.
 func (ix *Index) CSR() (ids []int32, xs, ys []float64) { return ix.ids, ix.cx, ix.cy }
 
 // Cell returns the bucket holding point id.

@@ -1,0 +1,346 @@
+package spatialindex
+
+import "fmt"
+
+// UpdateFallbackFraction is the mover fraction above which Update abandons
+// the delta patch and falls back to the full counting-sort rebuild. Movers
+// are points whose grid bucket changed since the last (re)build; at the
+// paper's operating points they are a small minority (an agent moves at
+// most V per step against a bucket side of R, so roughly a V/R fraction
+// crosses a boundary per step). As the fraction grows, the per-mover
+// bookkeeping erodes the win — the measured crossover on the reference
+// machine sits around half the population (compare index_update_10k in
+// BENCH_3.json with the Update10kMid/Hot benchmarks in this package) —
+// and the constant is set below it so the fallback never costs more than
+// the rebuild it replaces.
+const UpdateFallbackFraction = 0.35
+
+// ensureUpdate sizes the delta-update scratch buffers. The two cells-sized
+// counter arrays live in one slab so the per-update reset is a single
+// memclr; the moved flags are instead reset surgically (movers only), so
+// steady-state updates never touch more than the points that changed.
+func (ix *Index) ensureUpdate(n int) {
+	m := ix.cols * ix.cols
+	if cap(ix.idsAlt) < n {
+		ix.idsAlt = make([]int32, n)
+	}
+	ix.idsAlt = ix.idsAlt[:n]
+	if cap(ix.moved) < n {
+		ix.moved = make([]bool, n)
+	}
+	// Invariant: every flag is false between updates — Update unsets
+	// exactly the flags it set (including on the bail path), so regrowing
+	// within capacity cannot expose stale flags.
+	ix.moved = ix.moved[:n]
+	if ix.slab == nil {
+		ix.slab = make([]int32, 3*m+1)
+		ix.delta = ix.slab[0:m]
+		ix.ocount = ix.slab[m : 2*m]
+		ix.mstarts = ix.slab[2*m : 3*m+1]
+		ix.startsAlt = make([]int32, m+1)
+	}
+}
+
+// Update incrementally re-synchronizes the index with the flat coordinate
+// slices after a simulation step, exploiting that agents move at most V
+// per step and therefore mostly stay in their grid bucket. Point ids are
+// the slice indices, exactly as in RebuildXY, and the post-state is
+// bit-identical to RebuildXY(xs, ys): same starts offsets, same
+// bucket-major ids (ascending within each bucket), same id-indexed and
+// CSR-ordered coordinate views.
+//
+// Unlike RebuildXY, Update RETAINS xs and ys as the index's id-indexed
+// coordinate view instead of copying them — the whole point of the delta
+// path is to stop re-materializing arrays the simulation already owns. The
+// caller must keep the slices unmodified until the next Update or Rebuild
+// call; sim.World satisfies this naturally, since it mutates its position
+// slices only inside Step, which ends by calling Update. Cold paths that
+// need a stable snapshot keep using RebuildXY.
+//
+// dirty, when non-nil, must have len(xs) entries and flags the points
+// whose coordinates may have changed since the last (re)build; points with
+// a false flag are trusted to be exactly where the index last saw them and
+// their bucket classification is skipped (sim.World sets these bits from
+// the mobility layer, where a resting way-point agent publishes unchanged
+// coordinates). A nil dirty treats every point as potentially moved.
+//
+// The patch is two passes:
+//
+//  1. Classify, in id order (pure streaming): each dirty point is
+//     re-bucketed and compared against its stored bucket. Movers get a
+//     moved flag plus an entry in the (id-ascending) mover list, and
+//     per-bucket occupancy deltas and mover-in counts accumulate on the
+//     side. The pass bails straight into the counting sort if the mover
+//     count crosses UpdateFallbackFraction. If nothing changed bucket,
+//     only the bucket-major coordinate streams need refreshing (one tight
+//     gather pass) and the patch is done.
+//
+//  2. Emit, in bucket order: one sweep walks the old CSR spans and writes
+//     each surviving id AND its fresh coordinates directly to their final
+//     positions (ids ping-pong into an alternate array; coordinates
+//     stream into cx/cy exactly once — there is no separate refill).
+//     Mover-outs are dropped by a moved-flag test (a byte load from a
+//     cache-resident array, not a position search); movers-in, grouped per
+//     destination bucket by a stable counting sort, merge in ascending id
+//     order. The inner loop is specialized by the bucket's event type —
+//     no events (the overwhelmingly common case), departures only,
+//     arrivals only, or both — so the common paths carry no dead branches
+//     and the coordinate gathers pipeline.
+//
+// A population-size change (len(xs) != Len()) degrades to a full rebuild
+// of the given slices (still retained).
+func (ix *Index) Update(xs, ys []float64, dirty []bool) {
+	n := len(xs)
+	if len(ys) != n {
+		panic(fmt.Sprintf("spatialindex: coordinate slices disagree: len(xs)=%d len(ys)=%d", n, len(ys)))
+	}
+	if dirty != nil && len(dirty) != n {
+		panic(fmt.Sprintf("spatialindex: dirty flags disagree with points: len(dirty)=%d len(xs)=%d", len(dirty), n))
+	}
+	if n != len(ix.ids) || n == 0 {
+		// Population changed (or first build): there is no delta to exploit.
+		ix.adopt(xs, ys)
+		ix.rebuildOwned()
+		return
+	}
+
+	ix.adopt(xs, ys)
+	ix.ensureUpdate(n)
+	m := ix.cols * ix.cols
+	maxMovers := int(UpdateFallbackFraction * float64(n))
+	movers := ix.movers[:0]
+	clear(ix.slab) // delta, ocount, mstarts
+	delta := ix.delta
+	ocount := ix.ocount
+	mstarts := ix.mstarts
+	moved := ix.moved
+	cellOf := ix.cellOf[:n]
+	invR := ix.invR
+	cols := ix.cols
+	bailed := false
+
+	// Pass 1: classify in id order. The nil-dirty loop is split out so the
+	// common everyone-moves case runs without a per-point flag load.
+	xsn := xs[:n]
+	ysn := ys[:n]
+	if dirty == nil {
+		for i := range xsn {
+			cx := int(xsn[i] * invR)
+			if uint(cx) >= uint(cols) {
+				cx = ix.clampCol(cx)
+			}
+			cy := int(ysn[i] * invR)
+			if uint(cy) >= uint(cols) {
+				cy = ix.clampCol(cy)
+			}
+			c := int32(cy*cols + cx)
+			if old := cellOf[i]; old != c {
+				cellOf[i] = c
+				moved[i] = true
+				delta[old]--
+				delta[c]++
+				ocount[old]++
+				mstarts[c+1]++
+				movers = append(movers, int32(i))
+				if len(movers) > maxMovers {
+					bailed = true
+					break
+				}
+			}
+		}
+	} else {
+		for i := range xsn {
+			if !dirty[i] {
+				continue
+			}
+			cx := int(xsn[i] * invR)
+			if uint(cx) >= uint(cols) {
+				cx = ix.clampCol(cx)
+			}
+			cy := int(ysn[i] * invR)
+			if uint(cy) >= uint(cols) {
+				cy = ix.clampCol(cy)
+			}
+			c := int32(cy*cols + cx)
+			if old := cellOf[i]; old != c {
+				cellOf[i] = c
+				moved[i] = true
+				delta[old]--
+				delta[c]++
+				ocount[old]++
+				mstarts[c+1]++
+				movers = append(movers, int32(i))
+				if len(movers) > maxMovers {
+					bailed = true
+					break
+				}
+			}
+		}
+	}
+	ix.movers = movers
+	if bailed {
+		for _, id := range movers {
+			moved[id] = false
+		}
+		ix.rebuildOwned()
+		return
+	}
+	if len(movers) == 0 {
+		// Nobody changed bucket: ids and starts are already exact; only the
+		// CSR coordinate streams must be refreshed from the new positions.
+		ix.refillCSR()
+		return
+	}
+
+	// Group movers by destination bucket: fused prefix pass (mover-in
+	// offsets + new starts), then a stable scatter — movers are already
+	// ascending by id, so each destination group stays ascending.
+	oldStarts := ix.starts
+	newStarts := ix.startsAlt
+	newStarts[0] = 0
+	for c := 0; c < m; c++ {
+		mstarts[c+1] += mstarts[c]
+		newStarts[c+1] = newStarts[c] + (oldStarts[c+1] - oldStarts[c]) + delta[c]
+	}
+	k := len(movers)
+	if cap(ix.moversByCell) < k {
+		ix.moversByCell = make([]int32, k)
+	}
+	mby := ix.moversByCell[:k]
+	cursor := ix.cursor
+	copy(cursor, mstarts[:m])
+	for _, id := range movers {
+		c := cellOf[id]
+		mby[cursor[c]] = id
+		cursor[c]++
+	}
+
+	// Pass 2: emit ids and coordinates to their final positions in one
+	// bucket sweep. The loop body is specialized per bucket event type —
+	// most buckets saw no event at all (tight fill loop, no flag loads),
+	// and most of the rest saw only departures or only arrivals — so the
+	// common paths carry no dead branches and the coordinate gathers
+	// pipeline.
+	oldIds := ix.ids
+	newIds := ix.idsAlt
+	cx := ix.cx
+	cy := ix.cy
+	w := int32(0)
+	for c := 0; c < m; c++ {
+		si, sHi := oldStarts[c], oldStarts[c+1]
+		mi, mHi := mstarts[c], mstarts[c+1]
+		switch {
+		case ocount[c] == 0 && mi == mHi:
+			// No events: straight re-emit of the old span.
+			for ; si < sHi; si++ {
+				id := oldIds[si]
+				newIds[w] = id
+				cx[w] = xs[id]
+				cy[w] = ys[id]
+				w++
+			}
+		case mi == mHi:
+			// Departures only: drop flagged ids.
+			for ; si < sHi; si++ {
+				id := oldIds[si]
+				if moved[id] {
+					continue
+				}
+				newIds[w] = id
+				cx[w] = xs[id]
+				cy[w] = ys[id]
+				w++
+			}
+		case ocount[c] == 0:
+			// Arrivals only: merge movers-in by id, no flag loads.
+			for ; si < sHi; si++ {
+				id := oldIds[si]
+				for mi < mHi && mby[mi] < id {
+					in := mby[mi]
+					newIds[w] = in
+					cx[w] = xs[in]
+					cy[w] = ys[in]
+					mi++
+					w++
+				}
+				newIds[w] = id
+				cx[w] = xs[id]
+				cy[w] = ys[id]
+				w++
+			}
+			for ; mi < mHi; mi++ {
+				in := mby[mi]
+				newIds[w] = in
+				cx[w] = xs[in]
+				cy[w] = ys[in]
+				w++
+			}
+		default:
+			// Both departures and arrivals (rare): full merge.
+			for ; si < sHi; si++ {
+				id := oldIds[si]
+				if moved[id] {
+					continue
+				}
+				for mi < mHi && mby[mi] < id {
+					in := mby[mi]
+					newIds[w] = in
+					cx[w] = xs[in]
+					cy[w] = ys[in]
+					mi++
+					w++
+				}
+				newIds[w] = id
+				cx[w] = xs[id]
+				cy[w] = ys[id]
+				w++
+			}
+			for ; mi < mHi; mi++ {
+				in := mby[mi]
+				newIds[w] = in
+				cx[w] = xs[in]
+				cy[w] = ys[in]
+				w++
+			}
+		}
+	}
+	for _, id := range movers {
+		moved[id] = false // surgical reset; no O(n) clear per step
+	}
+	ix.ids, ix.idsAlt = newIds, oldIds
+	ix.starts, ix.startsAlt = newStarts, oldStarts
+}
+
+// adopt installs xs and ys as the index's id-indexed coordinate view
+// without copying. The slices are retained until the next Rebuild.
+func (ix *Index) adopt(xs, ys []float64) {
+	n := len(xs)
+	ix.xs = xs
+	ix.ys = ys
+	if cap(ix.cellOf) < n {
+		ix.cellOf = make([]int32, n)
+		ix.ids = make([]int32, n)
+		ix.cx = make([]float64, n)
+		ix.cy = make([]float64, n)
+	}
+	ix.cellOf = ix.cellOf[:n]
+	ix.ids = ix.ids[:n]
+	ix.cx = ix.cx[:n]
+	ix.cy = ix.cy[:n]
+}
+
+// refillCSR refreshes the bucket-major coordinate copies from the
+// id-indexed view without touching ids or starts — the Update fast path
+// when every move stayed inside its bucket. One sequential id stream
+// drives two gathers per point; there are no data-dependent branches, so
+// the loads pipeline.
+func (ix *Index) refillCSR() {
+	xs, ys := ix.xs, ix.ys
+	ids := ix.ids
+	cx := ix.cx[:len(ids)]
+	cy := ix.cy[:len(ids)]
+	for k, id := range ids {
+		cx[k] = xs[id]
+		cy[k] = ys[id]
+	}
+}

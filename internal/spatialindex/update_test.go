@@ -1,0 +1,227 @@
+package spatialindex
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// requireIdentical fails unless a and b hold bit-identical index state:
+// starts, bucket-major ids, CSR coordinate streams, id-indexed coordinate
+// copies, and the id -> bucket map.
+func requireIdentical(t *testing.T, step int, got, want *Index) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("step %d: Len %d != %d", step, got.Len(), want.Len())
+	}
+	gids, gx, gy := got.CSR()
+	wids, wx, wy := want.CSR()
+	for k := range wids {
+		if gids[k] != wids[k] {
+			t.Fatalf("step %d: ids[%d] = %d, want %d", step, k, gids[k], wids[k])
+		}
+		if gx[k] != wx[k] || gy[k] != wy[k] {
+			t.Fatalf("step %d: CSR coords[%d] = (%v, %v), want (%v, %v)",
+				step, k, gx[k], gy[k], wx[k], wy[k])
+		}
+	}
+	for c := 0; c <= want.NumCells(); c++ {
+		if got.starts[c] != want.starts[c] {
+			t.Fatalf("step %d: starts[%d] = %d, want %d", step, c, got.starts[c], want.starts[c])
+		}
+	}
+	gxs, gys := got.XS(), got.YS()
+	wxs, wys := want.XS(), want.YS()
+	for i := range wxs {
+		if gxs[i] != wxs[i] || gys[i] != wys[i] {
+			t.Fatalf("step %d: XS/YS[%d] = (%v, %v), want (%v, %v)",
+				step, i, gxs[i], gys[i], wxs[i], wys[i])
+		}
+		if got.Cell(i) != want.Cell(i) {
+			t.Fatalf("step %d: Cell(%d) = %d, want %d", step, i, got.Cell(i), want.Cell(i))
+		}
+	}
+}
+
+// perturb displaces each point by at most maxStep per coordinate, clamped
+// to the square — a synthetic mobility step.
+func perturb(rng *rand.Rand, xs, ys []float64, side, maxStep float64) {
+	for i := range xs {
+		xs[i] += (rng.Float64()*2 - 1) * maxStep
+		ys[i] += (rng.Float64()*2 - 1) * maxStep
+		xs[i] = clamp01(xs[i], side)
+		ys[i] = clamp01(ys[i], side)
+	}
+}
+
+func clamp01(v, side float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > side {
+		return side
+	}
+	return v
+}
+
+// The delta update must leave the index bit-identical to a fresh
+// counting-sort rebuild of the same coordinates, across many randomized
+// mobility-like steps and displacement scales (including ones large enough
+// to trip the fallback).
+func TestUpdateMatchesRebuild(t *testing.T) {
+	for _, maxStep := range []float64{0.05, 0.4, 1.7, 6.0, 40.0} {
+		rng := rand.New(rand.NewPCG(42, uint64(maxStep*1000)))
+		const side, radius = 50.0, 4.0
+		const n = 700
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * side
+			ys[i] = rng.Float64() * side
+		}
+		upd, err := New(side, radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := New(side, radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		upd.RebuildXY(xs, ys)
+		for step := 0; step < 60; step++ {
+			perturb(rng, xs, ys, side, maxStep)
+			upd.Update(xs, ys, nil)
+			ref.RebuildXY(xs, ys)
+			requireIdentical(t, step, upd, ref)
+		}
+	}
+}
+
+// Update with dirty flags must skip clean points (whose coordinates are
+// unchanged by contract) and still match the full rebuild.
+func TestUpdateDirtyFlags(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 99))
+	const side, radius = 30.0, 3.0
+	const n = 400
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	dirty := make([]bool, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * side
+		ys[i] = rng.Float64() * side
+	}
+	upd, err := New(side, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(side, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd.RebuildXY(xs, ys)
+	for step := 0; step < 50; step++ {
+		// A random subset rests (coordinates untouched, flag false), the
+		// rest moves and is flagged.
+		for i := range dirty {
+			dirty[i] = rng.Float64() < 0.7
+			if dirty[i] {
+				xs[i] = clamp01(xs[i]+(rng.Float64()*2-1)*1.2, side)
+				ys[i] = clamp01(ys[i]+(rng.Float64()*2-1)*1.2, side)
+			}
+		}
+		upd.Update(xs, ys, dirty)
+		ref.RebuildXY(xs, ys)
+		requireIdentical(t, step, upd, ref)
+	}
+}
+
+// A population-size change through Update must degrade to a full rebuild
+// instead of corrupting state.
+func TestUpdateResize(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 5))
+	const side, radius = 20.0, 2.0
+	upd, err := New(side, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(side, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step, n := range []int{100, 250, 60, 0, 130} {
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * side
+			ys[i] = rng.Float64() * side
+		}
+		upd.Update(xs, ys, nil)
+		ref.RebuildXY(xs, ys)
+		requireIdentical(t, step, upd, ref)
+	}
+}
+
+// Update retains the caller's coordinate slices as the id-indexed view
+// (that is its contract — no re-materialization), while RebuildXY keeps
+// copying into owned buffers; the two modes must interleave cleanly.
+func TestUpdateRetainsRebuildCopies(t *testing.T) {
+	const side, radius = 10.0, 2.0
+	ix, err := New(side, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []float64{1, 1.5, 9}
+	ys := []float64{1, 1, 9}
+	ix.RebuildXY(xs, ys)
+	if &ix.XS()[0] == &xs[0] {
+		t.Fatal("RebuildXY retained the caller's slice; it must copy")
+	}
+	xs[0], ys[0] = 1.2, 1.1 // small in-bucket move
+	ix.Update(xs, ys, nil)
+	if &ix.XS()[0] != &xs[0] {
+		t.Fatal("Update copied the caller's slice; it must retain it")
+	}
+	if got := ix.Neighbors(ix.Point(0), 0, nil); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("neighbors of point 0 after update = %v, want [1]", got)
+	}
+	// Back to the copying path: the owned buffers must not have been
+	// poisoned by the retained episode.
+	ix.RebuildXY(xs, ys)
+	if &ix.XS()[0] == &xs[0] {
+		t.Fatal("RebuildXY after Update retained the caller's slice")
+	}
+	for i := range xs {
+		xs[i], ys[i] = 5, 5 // scribble: the rebuild snapshot must survive
+	}
+	if got := ix.Neighbors(ix.Point(2), -1, nil); len(got) != 1 {
+		t.Fatalf("query at (9,9) after caller mutation = %v, want the point itself only", got)
+	}
+}
+
+// The steady-state delta update must not allocate.
+func TestUpdateSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 17))
+	const side, radius = 50.0, 4.0
+	const n = 2000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * side
+		ys[i] = rng.Float64() * side
+	}
+	ix, err := New(side, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.RebuildXY(xs, ys)
+	for warm := 0; warm < 10; warm++ { // warm the delta scratch capacities
+		perturb(rng, xs, ys, side, 0.4)
+		ix.Update(xs, ys, nil)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		perturb(rng, xs, ys, side, 0.4)
+		ix.Update(xs, ys, nil)
+	})
+	if avg > 0 {
+		t.Errorf("Update allocates %v times per call in steady state, want 0", avg)
+	}
+}
