@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test bench bench-json bench-compare docs clean
+.PHONY: ci fmt vet build test test-race bench bench-json bench-compare docs clean
 
 # ci is the tier-1 gate: formatting, static checks, build, tests, the
-# short hot-loop benchmark smoke run, the benchmark regression gate
-# against the committed trajectory file, and the docs gate.
-ci: fmt vet build test bench bench-compare docs
+# race-detector pass over the parallel-merge property tests, the short
+# hot-loop benchmark smoke run, the benchmark regression gate against the
+# committed trajectory file, and the docs gate.
+ci: fmt vet build test test-race bench bench-compare docs
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -22,6 +23,13 @@ build:
 test:
 	$(GO) test ./...
 
+# test-race runs the race detector over the packages whose property tests
+# exercise the parallel shard merges (flood sweep, chaining BFS levels,
+# parallel agent stepping) — exactly where an unsynchronized read would
+# hide behind deterministic output.
+test-race:
+	$(GO) test -race ./internal/core ./internal/sim
+
 # bench runs the micro-benchmarks briefly — a smoke test that the hot loops
 # still run allocation-free, not a measurement.
 bench:
@@ -30,11 +38,13 @@ bench:
 # BENCH_BASELINE is the benchmark trajectory file bench-json writes and
 # bench-compare diffs against; the committed default was recorded on the
 # reference machine (see its go_version/gomaxprocs header).
-BENCH_BASELINE ?= BENCH_3.json
+BENCH_BASELINE ?= BENCH_4.json
 
-# bench-json regenerates the benchmark trajectory file.
+# bench-json regenerates the benchmark trajectory file. Baselines are
+# median-of-3 like the gate itself, so a descheduled single sample can
+# neither loosen nor tighten future comparisons.
 bench-json:
-	$(GO) run ./cmd/bench -out $(BENCH_BASELINE)
+	$(GO) run ./cmd/bench -out $(BENCH_BASELINE) -k 3
 
 # bench-compare measures the current tree and fails on >20% ns/op
 # regressions of any hot-loop benchmark versus the committed trajectory.

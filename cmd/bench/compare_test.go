@@ -64,3 +64,51 @@ func TestLoadReportMissing(t *testing.T) {
 		t.Fatal("want error for missing compare file")
 	}
 }
+
+// medianIndex must pick the middle sample (lower-middle for even counts)
+// regardless of sample order, so the gate compares medians, not whichever
+// run happened to land on a quiet or noisy scheduler slice.
+func TestMedianIndex(t *testing.T) {
+	cases := []struct {
+		samples []float64
+		want    int
+	}{
+		{[]float64{5}, 0},
+		{[]float64{3, 1, 2}, 2},         // median 2 at index 2
+		{[]float64{100, 10, 50, 70}, 2}, // even: lower-middle 50 at index 2
+		{[]float64{9, 9, 9}, 1},         // ties: any middle; stable sort picks index 1
+		{[]float64{1, 2, 3, 4, 5}, 2},
+	}
+	for _, tc := range cases {
+		if got := medianIndex(tc.samples); got != tc.want {
+			t.Errorf("medianIndex(%v) = %d, want %d", tc.samples, got, tc.want)
+		}
+	}
+}
+
+// runBenchMedian must report the median run's ns/op and record every
+// sample; k = 1 must not record samples (single-run mode unchanged).
+func TestRunBenchMedian(t *testing.T) {
+	noop := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = i
+		}
+	}
+	r := runBenchMedian(noop, 3)
+	if len(r.NsSamples) != 3 {
+		t.Fatalf("samples = %v, want 3 entries", r.NsSamples)
+	}
+	found := false
+	for _, s := range r.NsSamples {
+		if s == r.NsPerOp {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("headline ns/op %v is not one of the samples %v", r.NsPerOp, r.NsSamples)
+	}
+	single := runBenchMedian(noop, 1)
+	if single.NsSamples != nil {
+		t.Fatalf("k=1 must not record samples, got %v", single.NsSamples)
+	}
+}

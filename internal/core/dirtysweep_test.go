@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"manhattanflood/internal/sim"
+)
+
+// The dirty-driven sweep must actually engage in its target regime — a
+// pause-heavy world on the index's delta path — and skip real work:
+// buckets that hold uninformed candidates but whose 3x3 block is
+// untouched. Bit-identity of the skipping sweep with the brute reference
+// is covered by TestFrontierMatchesBruteReference; this test guards
+// against the mask silently never activating (which would make that
+// coverage vacuous).
+func TestDirtySweepSkipActivates(t *testing.T) {
+	// v/R = 0.04 pins the delta-update path, and the very long pauses keep
+	// almost every agent resting (q ~ 0.9), so on a 20x20 grid the ~40
+	// moving agents mark well under half the buckets even after the 3x3
+	// dilation.
+	p := sim.Params{N: 400, L: 50, R: 2.5, V: 0.1, Seed: 11}
+	w, err := sim.NewWorld(p, sim.PausedMRWPFactory(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFlooding(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maskSteps, skippedBuckets := 0, 0
+	for s := 0; s < 60 && !f.Done(); s++ {
+		f.Step()
+		if f.sweepSkip == nil {
+			continue
+		}
+		maskSteps++
+		// bucketUninf and sweepSkip still describe this step's sweep: a
+		// bucket with uninformed occupants and a clear mask bit was
+		// skipped without its rows being touched.
+		for c, u := range f.bucketUninf {
+			if u > 0 && !f.sweepSkip[c] {
+				skippedBuckets++
+			}
+		}
+	}
+	if maskSteps == 0 {
+		t.Fatal("dirty-driven mask never activated in a pause-heavy delta-path world")
+	}
+	if skippedBuckets == 0 {
+		t.Fatal("mask active but no occupied bucket was ever skipped")
+	}
+}
+
+// The mask must be dropped — every bucket scanned — whenever the flooding
+// did not observe the previous world step, since the index's change
+// summary then covers only the most recent step and earlier movement
+// would be unaccounted for.
+func TestDirtySweepMaskDroppedOnExternalStep(t *testing.T) {
+	p := sim.Params{N: 400, L: 25, R: 2.5, V: 0.1, Seed: 12}
+	w, err := sim.NewWorld(p, sim.PausedMRWPFactory(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFlooding(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 10; s++ {
+		f.Step()
+	}
+	if f.sweepSkip == nil {
+		t.Fatal("precondition: mask should be active after contiguous steps")
+	}
+	w.Step() // step the world behind the flooding's back
+	f.Step()
+	if f.sweepSkip != nil {
+		t.Fatal("mask survived an unobserved world step")
+	}
+	// Once the flooding observes steps contiguously again, the mask
+	// re-arms.
+	f.Step()
+	if f.sweepSkip == nil {
+		t.Fatal("mask did not re-arm after resuming contiguous stepping")
+	}
+}

@@ -25,6 +25,17 @@
 // Suburb phase, when almost every agent is informed) a step costs
 // O(cells + #uninformed * blocksize), not O(n).
 //
+// The sweep is additionally dirty-driven when the world can prove what
+// moved: spatialindex.Index.Update publishes an exact per-bucket change
+// summary whenever it ran from a per-agent dirty bitmap (pause-heavy
+// worlds on the delta path), and prepareSweepSkip dilates those marks —
+// plus the buckets holding agents informed in the previous round — into a
+// 3x3-block mask. A bucket whose whole block is unchanged and
+// transmitter-free-of-news is skipped without touching its rows: its
+// candidates heard nothing last round, and nothing that could change that
+// has moved or learned anything since. The mask is dropped (full scan)
+// whenever the summary is inexact, so correctness never depends on it.
+//
 // The ids that hear a transmitter are collected in bucket-major order —
 // deterministic, though not ascending; all downstream state (informed
 // flags, counts, series, zone tracking) is order-independent.
@@ -38,6 +49,11 @@
 // The WithinStepChaining ablation is a BFS from the step's newly informed
 // frontier instead of repeated full rescans: each dequeued agent scans its
 // 3x3 block for uninformed neighbors, informs them, and enqueues them. The
+// block scan runs over a per-step uninformed bitmap in CSR position order
+// (buildUninfBits): set bits are visited with trailing-zero iteration, so
+// the saturated interior behind the epidemic wave costs a few zero-word
+// loads per row and the mixed front jumps straight from candidate to
+// candidate, reading coordinates as interleaved sequential CSR pairs. The
 // fixed point is the same epidemic closure the naive iteration computes,
 // with each agent processed once. With Workers > 1 the BFS advances in
 // frontier-synchronized levels: each level is sharded over the workers,
@@ -50,6 +66,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sync"
 
 	"manhattanflood/internal/cells"
@@ -75,7 +92,19 @@ type Flooding struct {
 	bucketUninf   []int32   // scratch: per-bucket uninformed occupancy
 	queue         []int32   // scratch: chaining BFS queue / current level
 	level         []int32   // scratch: next chaining BFS level (parallel mode)
-	shards        [][]int32 // scratch: per-worker hit buffers
+	shards        [][]int32 // scratch: per-worker hit buffers (chaining: CSR positions)
+	uninfBits     []uint64  // scratch: uninformed-by-CSR-position bitmap (chaining closure)
+
+	// Dirty-driven sweep state (see prepareSweepSkip): fresh holds the ids
+	// informed during the previous Step (sweep hits plus chained-in agents;
+	// the source after a reset), lastTime the world time that Step ended
+	// at, and sweepSkip the per-bucket mask for the current sweep — nil
+	// when every bucket must be scanned.
+	fresh     []int32
+	sweepSkip []bool
+	skipSeed  []bool // scratch: change marks + fresh-informed buckets, then the dilated mask
+	skipTmp   []bool // scratch: horizontal dilation pass
+	lastTime  int
 }
 
 // FloodOption customizes a Flooding run.
@@ -115,9 +144,13 @@ func NewFlooding(w *sim.World, source int, opts ...FloodOption) (*Flooding, erro
 		w:          w,
 		informed:   make([]bool, w.N()),
 		uninformed: make([]int32, 0, w.N()-1),
+		fresh:      make([]int32, 0, w.N()),
 	}
 	for _, o := range opts {
 		o(f)
+	}
+	if f.chainWithin {
+		f.uninfBits = make([]uint64, (w.N()+63)/64)
 	}
 	f.reset(source)
 	return f, nil
@@ -154,6 +187,12 @@ func (f *Flooding) reset(source int) {
 	if f.recordSeries {
 		f.series = append(f.series, 1)
 	}
+	// Re-arm the dirty-driven sweep: the source is the only agent whose
+	// informed state differs from "nobody knows anything", and the world
+	// has not been observed stepping yet.
+	f.fresh = append(f.fresh[:0], int32(source))
+	f.sweepSkip = nil
+	f.lastTime = f.w.Time()
 	f.updateCZ()
 }
 
@@ -194,6 +233,10 @@ func (f *Flooding) Step() int {
 		f.bucketUninf[ix.Cell(int(i))]++
 	}
 
+	// Consumes the previous step's fresh list, so it must run before the
+	// list is rebuilt for this step.
+	f.prepareSweepSkip(ix)
+
 	f.newlyInformed = f.newlyInformed[:0]
 	workers := f.w.Params().Workers
 	if workers > 1 && len(f.uninformed) >= 2*workers {
@@ -201,6 +244,7 @@ func (f *Flooding) Step() int {
 	} else {
 		f.newlyInformed = f.sweep(ix, 0, ix.NumCells(), f.newlyInformed)
 	}
+	f.fresh = append(f.fresh[:0], f.newlyInformed...)
 	for _, i := range f.newlyInformed {
 		f.informed[i] = true
 	}
@@ -218,7 +262,70 @@ func (f *Flooding) Step() int {
 		f.series = append(f.series, f.count)
 	}
 	f.updateCZ()
+	f.lastTime = f.w.Time()
 	return newly
+}
+
+// prepareSweepSkip builds the per-bucket skip mask for this step's
+// transmission sweep from the index's change summary. A bucket may be
+// skipped when no bucket of its 3x3 block changed during the world step
+// (occupancy or published coordinates) and none holds an agent informed
+// during the previous round: its candidates heard no transmitter last
+// round, every agent of the block sits exactly where it sat then, and no
+// new transmitter appeared — so the candidates hear nothing this round
+// either, without touching a single row. The mask is nil (scan every
+// bucket) when the summary is inexact — full rebuilds, worlds without
+// dirty bits — or when the flooding did not observe the previous world
+// step, which would leave unsummarized movement in between.
+func (f *Flooding) prepareSweepSkip(ix *spatialindex.Index) {
+	marks, exact := ix.ChangedBuckets()
+	if !exact || f.w.Time() != f.lastTime+1 {
+		f.sweepSkip = nil
+		return
+	}
+	m := ix.NumCells()
+	cols := ix.Cols()
+	if len(f.skipSeed) != m {
+		f.skipSeed = make([]bool, m)
+		f.skipTmp = make([]bool, m)
+	}
+	seed := f.skipSeed
+	copy(seed, marks)
+	for _, id := range f.fresh {
+		seed[ix.Cell(int(id))] = true
+	}
+	// Separable 3x3 dilation, horizontal then vertical: afterwards
+	// seed[c] is set iff any bucket of c's 3x3 block was seeded.
+	tmp := f.skipTmp
+	for y := 0; y < cols; y++ {
+		in := seed[y*cols : (y+1)*cols]
+		out := tmp[y*cols : (y+1)*cols]
+		for x := range in {
+			v := in[x]
+			if x > 0 {
+				v = v || in[x-1]
+			}
+			if x+1 < cols {
+				v = v || in[x+1]
+			}
+			out[x] = v
+		}
+	}
+	for y := 0; y < cols; y++ {
+		out := seed[y*cols : (y+1)*cols]
+		mid := tmp[y*cols : (y+1)*cols]
+		for x := range out {
+			v := mid[x]
+			if y > 0 {
+				v = v || tmp[(y-1)*cols+x]
+			}
+			if y+1 < cols {
+				v = v || tmp[(y+1)*cols+x]
+			}
+			out[x] = v
+		}
+	}
+	f.sweepSkip = seed
 }
 
 // sweep runs one transmission round over the uninformed occupants of
@@ -232,7 +339,10 @@ func (f *Flooding) Step() int {
 // per-row occupancy skip are computed once per bucket instead of once per
 // candidate, candidate coordinates stream out of the CSR slices
 // sequentially, and a bucket with no uninformed occupant is skipped with a
-// single counter load.
+// single counter load. When the dirty-driven mask is available
+// (prepareSweepSkip), a bucket whose whole 3x3 block is unchanged since
+// the previous round is skipped with one more load, before any row span is
+// touched.
 func (f *Flooding) sweep(ix *spatialindex.Index, c0, c1 int, dst []int32) []int32 {
 	r := ix.Radius()
 	r2 := r * r
@@ -240,9 +350,13 @@ func (f *Flooding) sweep(ix *spatialindex.Index, c0, c1 int, dst []int32) []int3
 	ids, cxs, cys := ix.CSR()
 	informed := f.informed
 	bucketUninf := f.bucketUninf
+	skip := f.sweepSkip
 	var rowLo, rowHi [3]int32
 	for c := c0; c < c1; c++ {
 		if bucketUninf[c] == 0 {
+			continue
+		}
+		if skip != nil && !skip[c] {
 			continue
 		}
 		lo, hi := ix.CellSpanBounds(c)
@@ -342,6 +456,69 @@ func (f *Flooding) sweepParallel(ix *spatialindex.Index, workers int) {
 	}
 }
 
+// buildUninfBits fills the closure's uninformed bitmap: bit k is set iff
+// the agent at CSR position k is currently uninformed. One sequential pass
+// over the ids array (the informed flags fit in cache), run once per
+// chained step; the closure then visits candidates by iterating set bits,
+// so the saturated interior behind the epidemic wave costs a handful of
+// zero-word loads instead of a per-occupant flag check.
+func (f *Flooding) buildUninfBits(ids []int32) []uint64 {
+	nw := (len(ids) + 63) / 64
+	if cap(f.uninfBits) < nw {
+		f.uninfBits = make([]uint64, nw)
+	}
+	words := f.uninfBits[:nw]
+	clear(words)
+	informed := f.informed
+	for k, id := range ids {
+		if !informed[id] {
+			words[k>>6] |= 1 << (k & 63)
+		}
+	}
+	f.uninfBits = words
+	return words
+}
+
+// chainBlockScan visits every uninformed candidate in the 3x3 block around
+// (px, py), in ascending CSR position order, and calls visit(k) for each
+// candidate within r2. Candidates come straight off the uninformed bitmap:
+// each block row is at most a few 64-bit words, zero words (the saturated
+// interior) fall out of the loop immediately, and surviving set bits index
+// the CSR coordinate streams as one interleaved sequential pair per
+// candidate. visit may clear bits of positions it has been called for (the
+// sequential closure does; the parallel scan, which must not write shared
+// state, does not) — the local word snapshot only carries bits that have
+// not been visited yet, so the iteration never observes its own clears.
+func chainBlockScan(ix *spatialindex.Index, words []uint64,
+	cxs, cys []float64, px, py, r2 float64, visit func(k int)) {
+	x0, x1, y0, y1 := ix.BlockBoundsXY(px, py)
+	for by := y0; by <= y1; by++ {
+		lo, hi := ix.RowSpanBounds(by, x0, x1)
+		if lo >= hi {
+			continue
+		}
+		wLo, wHi := int(lo)>>6, (int(hi)+63)>>6
+		for w := wLo; w < wHi; w++ {
+			word := words[w]
+			if w == wLo {
+				word &= ^uint64(0) << (uint(lo) & 63)
+			}
+			if w == wHi-1 && int(hi)&63 != 0 {
+				word &= (1 << (uint(hi) & 63)) - 1
+			}
+			for word != 0 {
+				k := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				dx := cxs[k] - px
+				dy := cys[k] - py
+				if dx*dx+dy*dy <= r2 {
+					visit(k)
+				}
+			}
+		}
+	}
+}
+
 // chainClosure computes the within-step epidemic closure from the step's
 // newly informed frontier, returning how many agents were chained in. The
 // fixed point equals the naive repeat-until-no-change closure. With
@@ -356,77 +533,71 @@ func (f *Flooding) chainClosure(ix *spatialindex.Index) int {
 	r := ix.Radius()
 	r2 := r * r
 	xs, ys := ix.XS(), ix.YS()
-	// Locals so the in-loop queue append cannot alias f's fields and force
-	// per-iteration reloads of the informed slice header.
+	ids, cxs, cys := ix.CSR()
+	words := f.buildUninfBits(ids)
 	informed := f.informed
 	queue := append(f.queue[:0], f.newlyInformed...)
-	chained := 0
+	frontier := len(queue)
 	for qi := 0; qi < len(queue); qi++ {
 		j := queue[qi]
-		px, py := xs[j], ys[j]
-		x0, x1, y0, y1 := ix.BlockBoundsXY(px, py)
-		for by := y0; by <= y1; by++ {
-			for _, id := range ix.RowSpan(by, x0, x1) {
-				// Uninformed first: in the chained regime almost every
-				// scanned agent is already informed, so this predicts
-				// well and skips the FP work entirely.
-				if informed[id] {
-					continue
-				}
-				dx := xs[id] - px
-				dy := ys[id] - py
-				if dx*dx+dy*dy <= r2 {
-					informed[id] = true
-					queue = append(queue, id)
-					chained++
-				}
-			}
-		}
+		chainBlockScan(ix, words, cxs, cys, xs[j], ys[j], r2, func(k int) {
+			id := ids[k]
+			informed[id] = true
+			words[k>>6] &^= 1 << (uint(k) & 63)
+			queue = append(queue, id)
+		})
 	}
+	chained := len(queue) - frontier
+	f.fresh = append(f.fresh, queue[frontier:]...)
 	f.queue = queue
 	f.count += chained
 	return chained
 }
 
-// chainScan appends to dst every uninformed agent within radius of a
-// transmitter in level[lo:hi]. It only reads shared state (duplicates are
-// fine; the merge deduplicates), so level shards may run concurrently.
+// chainScan appends to dst the CSR positions of every uninformed agent
+// within radius of a transmitter in level. It only reads shared state —
+// the bitmap in particular is not written, so duplicate positions may be
+// emitted across (and within) shards; the serial merge deduplicates — and
+// level shards therefore run concurrently.
 func (f *Flooding) chainScan(ix *spatialindex.Index, level []int32, dst []int32) []int32 {
 	r := ix.Radius()
 	r2 := r * r
 	xs, ys := ix.XS(), ix.YS()
-	informed := f.informed
+	_, cxs, cys := ix.CSR()
+	words := f.uninfBits
 	for _, j := range level {
-		px, py := xs[j], ys[j]
-		x0, x1, y0, y1 := ix.BlockBoundsXY(px, py)
-		for by := y0; by <= y1; by++ {
-			for _, id := range ix.RowSpan(by, x0, x1) {
-				if informed[id] {
-					continue
-				}
-				dx := xs[id] - px
-				dy := ys[id] - py
-				if dx*dx+dy*dy <= r2 {
-					dst = append(dst, id)
-				}
-			}
-		}
+		chainBlockScan(ix, words, cxs, cys, xs[j], ys[j], r2, func(k int) {
+			dst = append(dst, int32(k))
+		})
 	}
 	return dst
 }
 
 // chainClosureParallel advances the chaining BFS in frontier-synchronized
 // levels: the current level is sharded over the workers, which only read
-// the informed set and emit hit candidates; the merged candidates are then
-// marked serially (in shard order, deduplicating on the informed bit) and
-// become the next level. Each level is a barrier, so no goroutine ever
-// observes a half-written informed set, and the fixed point — hence the
-// final informed set and count — is identical to the sequential BFS.
+// the informed set and the uninformed bitmap and emit hit positions; the
+// merged positions are then marked serially (in shard order, deduplicating
+// on the informed bit, clearing the bitmap bit) and become the next level.
+// Each level is a barrier, so no goroutine ever observes a half-written
+// informed set or bitmap, and the fixed point — hence the final informed
+// set and count — is identical to the sequential BFS.
 func (f *Flooding) chainClosureParallel(ix *spatialindex.Index, workers int) int {
 	f.ensureShards(workers)
+	ids, _, _ := ix.CSR()
+	words := f.buildUninfBits(ids)
 	level := append(f.queue[:0], f.newlyInformed...)
 	next := f.level[:0]
 	chained := 0
+	mark := func(k int32) {
+		id := ids[k]
+		if !f.informed[id] {
+			f.informed[id] = true
+			words[k>>6] &^= 1 << (uint(k) & 63)
+			f.fresh = append(f.fresh, id)
+			next = append(next, id)
+			chained++
+		}
+	}
 	for len(level) > 0 {
 		next = next[:0]
 		if len(level) >= 2*workers {
@@ -448,22 +619,14 @@ func (f *Flooding) chainClosureParallel(ix *spatialindex.Index, workers int) int
 			}
 			wg.Wait()
 			for s := 0; s < nsh; s++ {
-				for _, id := range f.shards[s] {
-					if !f.informed[id] {
-						f.informed[id] = true
-						next = append(next, id)
-						chained++
-					}
+				for _, k := range f.shards[s] {
+					mark(k)
 				}
 			}
 		} else {
 			f.shards[0] = f.chainScan(ix, level, f.shards[0][:0])
-			for _, id := range f.shards[0] {
-				if !f.informed[id] {
-					f.informed[id] = true
-					next = append(next, id)
-					chained++
-				}
+			for _, k := range f.shards[0] {
+				mark(k)
 			}
 		}
 		level, next = next, level

@@ -20,9 +20,9 @@ type refFlood struct {
 	chain    bool
 }
 
-func newRefFlood(t *testing.T, p sim.Params, source int, chain bool) *refFlood {
+func newRefFlood(t *testing.T, p sim.Params, factory sim.ModelFactory, source int, chain bool) *refFlood {
 	t.Helper()
-	w, err := sim.NewWorld(p, nil)
+	w, err := sim.NewWorld(p, factory)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,11 +74,14 @@ func (r *refFlood) step() int {
 	return newly
 }
 
-// The frontier engine (occupancy-skip bucket sweep + BFS chaining closure)
-// must produce bit-identical informed sets to the brute-force AoS
-// reference flood, step by step, across seeds, population sizes, the
-// chaining ablation, parallel stepping/sweeping, and the pooled
-// (World.Reset + Flooding.Reset) construction path.
+// The frontier engine (occupancy-skip bucket sweep + dirty-driven bucket
+// skipping + BFS chaining closure) must produce bit-identical informed
+// sets to the brute-force AoS reference flood, step by step, across seeds,
+// population sizes, the chaining ablation, parallel stepping/sweeping, the
+// pooled (World.Reset + Flooding.Reset) construction path, and pause-heavy
+// worlds — the regime where the index publishes exact per-bucket change
+// summaries and the sweep actually skips unchanged buckets. The reference
+// recomputes every step from scratch, so any unsound skip diverges here.
 func TestFrontierMatchesBruteReference(t *testing.T) {
 	cases := []struct {
 		n       int
@@ -86,23 +89,43 @@ func TestFrontierMatchesBruteReference(t *testing.T) {
 		chain   bool
 		workers int
 		pooled  bool
+		pause   float64 // > 0: PausedMRWP with this max pause
+		v       float64 // 0: the default 0.4
 	}{
-		{60, 1, false, 0, false},
-		{60, 1, true, 0, false},
-		{200, 2, false, 0, false},
-		{200, 2, true, 0, false},
-		{500, 3, false, 0, false},
-		{500, 3, true, 0, false},
-		{200, 99, false, 0, false},
-		{200, 99, true, 0, false},
-		{300, 4, false, 3, false},
-		{300, 4, true, 3, false},
-		{300, 5, false, 0, true},
-		{300, 5, true, 0, true},
-		{300, 6, false, 3, true},
+		{60, 1, false, 0, false, 0, 0},
+		{60, 1, true, 0, false, 0, 0},
+		{200, 2, false, 0, false, 0, 0},
+		{200, 2, true, 0, false, 0, 0},
+		{500, 3, false, 0, false, 0, 0},
+		{500, 3, true, 0, false, 0, 0},
+		{200, 99, false, 0, false, 0, 0},
+		{200, 99, true, 0, false, 0, 0},
+		{300, 4, false, 3, false, 0, 0},
+		{300, 4, true, 3, false, 0, 0},
+		{300, 5, false, 0, true, 0, 0},
+		{300, 5, true, 0, true, 0, 0},
+		{300, 6, false, 3, true, 0, 0},
+		// Pause-heavy worlds. At v=0.4, V/R > 0.05 exercises the sampled
+		// dirty-count decision (delta path once enough agents rest); the
+		// slow v=0.1 cases pin the delta path outright, so the change
+		// summary is exact from the first step.
+		{300, 7, false, 0, false, 60, 0},
+		{300, 7, true, 0, false, 60, 0},
+		{300, 8, false, 0, false, 200, 0.1},
+		{300, 8, true, 0, false, 200, 0.1},
+		{300, 9, false, 3, false, 120, 0.1},
+		{300, 10, false, 0, true, 120, 0.1},
 	}
 	for _, tc := range cases {
-		p := sim.Params{N: tc.n, L: 25, R: 3, V: 0.4, Seed: tc.seed, Workers: tc.workers}
+		v := tc.v
+		if v == 0 {
+			v = 0.4
+		}
+		var factory sim.ModelFactory
+		if tc.pause > 0 {
+			factory = sim.PausedMRWPFactory(tc.pause)
+		}
+		p := sim.Params{N: tc.n, L: 25, R: 3, V: v, Seed: tc.seed, Workers: tc.workers}
 		var w *sim.World
 		var f *Flooding
 		var err error
@@ -113,7 +136,7 @@ func TestFrontierMatchesBruteReference(t *testing.T) {
 			// exactly like a fresh pair.
 			dp := p
 			dp.Seed = p.Seed + 0xdecade
-			w, err = sim.NewWorld(dp, nil)
+			w, err = sim.NewWorld(dp, factory)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -134,7 +157,7 @@ func TestFrontierMatchesBruteReference(t *testing.T) {
 				t.Fatal(err)
 			}
 		} else {
-			w, err = sim.NewWorld(p, nil)
+			w, err = sim.NewWorld(p, factory)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -150,9 +173,13 @@ func TestFrontierMatchesBruteReference(t *testing.T) {
 		}
 		refP := p
 		refP.Workers = 0 // the reference is always sequential
-		ref := newRefFlood(t, refP, source, tc.chain)
+		ref := newRefFlood(t, refP, factory, source, tc.chain)
 
-		for s := 0; s < 400 && !f.Done(); s++ {
+		maxSteps := 400
+		if tc.pause > 0 {
+			maxSteps = 2000 // resting couriers stretch the Suburb phase
+		}
+		for s := 0; s < maxSteps && !f.Done(); s++ {
 			got := f.Step()
 			want := ref.step()
 			if got != want {
@@ -171,7 +198,8 @@ func TestFrontierMatchesBruteReference(t *testing.T) {
 			}
 		}
 		if !f.Done() {
-			t.Fatalf("n=%d seed=%d chain=%v: flood incomplete after 400 steps", tc.n, tc.seed, tc.chain)
+			t.Fatalf("n=%d seed=%d chain=%v pause=%v: flood incomplete after %d steps",
+				tc.n, tc.seed, tc.chain, tc.pause, maxSteps)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -357,9 +358,37 @@ func TestE17PauseAblationQuick(t *testing.T) {
 		t.Error("incomplete trials")
 	}
 	// In the courier regime, pausing must not speed flooding up beyond
-	// noise.
+	// noise (the tolerance is the trial-variance-derived CI of each point).
 	if paused.MeanT+paused.CI95+noPause.CI95 < noPause.MeanT {
 		t.Errorf("pausing sped flooding up: %v vs %v", paused.MeanT, noPause.MeanT)
+	}
+}
+
+// Quick-mode E17 pins its seed: the run must be bit-identical across
+// invocations AND across caller seeds, so the quick CI assertion above can
+// never flake — it evaluates the same fixed draw everywhere. Regression
+// test for the historical papering-over of quick-mode noise with extra
+// trials.
+func TestE17QuickDeterministic(t *testing.T) {
+	first, err := E17PauseAblation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := E17PauseAblation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatalf("two identical quick runs differ:\n%+v\n%+v", first, again)
+	}
+	otherSeed := quickCfg()
+	otherSeed.Seed = 0xdeadbeef
+	pinned, err := E17PauseAblation(otherSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, pinned) {
+		t.Fatalf("quick run depends on the caller seed; the quick config must be pinned:\n%+v\n%+v", first, pinned)
 	}
 }
 

@@ -142,6 +142,14 @@ type Model interface {
 	Name() string
 	// NewAgent creates one agent in the model's initial distribution.
 	NewAgent(rng *rand.Rand) Agent
+	// NeverRests reports whether every agent of this model changes
+	// position on every step. Way-point models without pauses, random
+	// walks and random-direction agents always cover distance V per time
+	// unit, so their dirty bit would be set unconditionally; the simulator
+	// uses this capability to skip per-agent dirty-bit collection entirely
+	// (see sim.World.Step). A model with any resting state (way-point
+	// pauses) must return false so resting agents keep their bits clear.
+	NeverRests() bool
 }
 
 // Config carries the parameters shared by all mobility models.

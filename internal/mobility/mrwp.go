@@ -52,6 +52,9 @@ func NewMRWP(cfg Config, opts ...MRWPOption) (*MRWP, error) {
 // Name implements Model.
 func (m *MRWP) Name() string { return "mrwp" }
 
+// NeverRests implements Model: MRWP agents travel distance V every step.
+func (m *MRWP) NeverRests() bool { return true }
+
 // Config returns the model parameters.
 func (m *MRWP) Config() Config { return m.cfg }
 

@@ -54,6 +54,10 @@ func NewPausedMRWP(cfg Config, maxPause float64) (*PausedMRWP, error) {
 // Name implements Model.
 func (m *PausedMRWP) Name() string { return "mrwp-paused" }
 
+// NeverRests implements Model: paused agents can rest through whole steps,
+// so the simulator must keep collecting per-agent dirty bits.
+func (m *PausedMRWP) NeverRests() bool { return false }
+
 // PausedFraction returns the stationary probability q of being paused.
 func (m *PausedMRWP) PausedFraction() float64 {
 	meanPause := m.maxPause / 2

@@ -47,6 +47,9 @@ func NewRWP(cfg Config, opts ...RWPOption) (*RWP, error) {
 // Name implements Model.
 func (m *RWP) Name() string { return "rwp" }
 
+// NeverRests implements Model: RWP agents travel distance V every step.
+func (m *RWP) NeverRests() bool { return true }
+
 // NewAgent implements Model.
 func (m *RWP) NewAgent(rng *rand.Rand) Agent {
 	a := &RWPAgent{}

@@ -31,6 +31,9 @@ func NewRandomWalk(cfg Config) (*RandomWalk, error) {
 // Name implements Model.
 func (m *RandomWalk) Name() string { return "random-walk" }
 
+// NeverRests implements Model: walkers move distance V every step.
+func (m *RandomWalk) NeverRests() bool { return true }
+
 // NewAgent implements Model. Agents start uniform, which is already the
 // stationary law of this model.
 func (m *RandomWalk) NewAgent(rng *rand.Rand) Agent {
@@ -112,6 +115,9 @@ func NewRandomDirection(cfg Config) (*RandomDirection, error) {
 
 // Name implements Model.
 func (m *RandomDirection) Name() string { return "random-direction" }
+
+// NeverRests implements Model: direction agents move distance V every step.
+func (m *RandomDirection) NeverRests() bool { return true }
 
 // NewAgent implements Model.
 func (m *RandomDirection) NewAgent(rng *rand.Rand) Agent {

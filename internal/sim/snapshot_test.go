@@ -2,6 +2,8 @@ package sim
 
 import (
 	"testing"
+
+	"manhattanflood/internal/geom"
 )
 
 // A held SnapshotGraph must stay a consistent picture of the step it was
@@ -46,5 +48,77 @@ func TestSnapshotGraphStableAcrossSteps(t *testing.T) {
 	}
 	if got := g.Components().Sets(); got != compBefore {
 		t.Fatalf("component count drifted: %d -> %d", compBefore, got)
+	}
+}
+
+// Snapshot safety across the delta path. Index.Update RETAINS the world's
+// coordinate slices as the index's id-indexed view (the documented
+// aliasing contract), while everything a caller can hold across steps —
+// SnapshotGraph, Positions — copies. A graph.Disk held while the world
+// delta-updates in place must therefore stay exactly the graph of the
+// step it was taken at, and never silently alias the mutating
+// coordinates. Regression test for the Update-retains / Rebuild-copies
+// split introduced with the delta index.
+func TestSnapshotGraphStableAcrossDeltaUpdates(t *testing.T) {
+	// V/R = 0.04 pins the delta-update path: every Step after the first
+	// re-syncs the index in place via Update, mutating x/y under the
+	// retained view.
+	w, err := NewWorld(Params{N: 300, L: 18, R: 2.5, V: 0.1, Seed: 9}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Step() // first delta update; the index now retains w.x / w.y
+	if &w.index.XS()[0] != &w.x[0] {
+		t.Fatal("precondition: the index must be on the retaining delta path")
+	}
+
+	g, err := w.SnapshotGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := w.Positions()
+	adjBefore := make([][]int, w.N())
+	for i := range adjBefore {
+		adjBefore[i] = g.Neighbors(i, nil)
+	}
+
+	for s := 0; s < 50; s++ {
+		w.Step()
+	}
+
+	// The held graph must still describe the recorded step exactly...
+	for i := range adjBefore {
+		got := g.Neighbors(i, nil)
+		if len(got) != len(adjBefore[i]) {
+			t.Fatalf("vertex %d adjacency drifted under delta updates: %v -> %v", i, adjBefore[i], got)
+		}
+		for k := range got {
+			if got[k] != adjBefore[i][k] {
+				t.Fatalf("vertex %d adjacency drifted under delta updates: %v -> %v", i, adjBefore[i], got)
+			}
+		}
+	}
+	// ...and the recorded positions must verify it independently: every
+	// recorded edge within R, every recorded non-edge beyond R would have
+	// been caught above only if the graph aliased nothing.
+	r2 := 2.5 * 2.5
+	for i, nbrs := range adjBefore {
+		for _, j := range nbrs {
+			if d := pos[i].Dist2(pos[j]); d > r2+1e-12 {
+				t.Fatalf("edge (%d,%d) inconsistent with the snapshot positions: dist2 %v", i, j, d)
+			}
+		}
+	}
+	// The live world meanwhile has genuinely moved on.
+	moved := false
+	xs, ys := w.X(), w.Y()
+	for i := range pos {
+		if pos[i] != (geom.Point{X: xs[i], Y: ys[i]}) {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("world did not move; the stability assertions are vacuous")
 	}
 }

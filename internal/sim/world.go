@@ -146,16 +146,17 @@ const deltaUpdateMaxMoverFraction = 0.05
 
 // World is a population of agents stepped in lockstep.
 type World struct {
-	params Params
-	model  mobility.Model
-	agents []mobility.Agent
-	rngs   []*rand.Rand
-	pcgs   []*rand.PCG
-	x, y   []float64 // SoA positions, indexed by agent id
-	dirty  []bool    // agents whose position changed this step (bound mode)
-	bound  bool      // every agent writes its slot itself (SlotWriter)
-	index  *spatialindex.Index
-	step   int
+	params     Params
+	model      mobility.Model
+	agents     []mobility.Agent
+	rngs       []*rand.Rand
+	pcgs       []*rand.PCG
+	x, y       []float64 // SoA positions, indexed by agent id
+	dirty      []bool    // agents whose position changed this step (bound, resting models only)
+	bound      bool      // every agent writes its slot itself (SlotWriter)
+	neverRests bool      // model guarantees every agent moves every step
+	index      *spatialindex.Index
+	step       int
 }
 
 // NewWorld creates a world of p.N agents using the given mobility model
@@ -176,16 +177,24 @@ func NewWorld(p Params, factory ModelFactory) (*World, error) {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	w := &World{
-		params: p,
-		model:  model,
-		agents: make([]mobility.Agent, p.N),
-		rngs:   make([]*rand.Rand, p.N),
-		pcgs:   make([]*rand.PCG, p.N),
-		x:      make([]float64, p.N),
-		y:      make([]float64, p.N),
-		dirty:  make([]bool, p.N),
-		index:  ix,
-		bound:  true,
+		params:     p,
+		model:      model,
+		agents:     make([]mobility.Agent, p.N),
+		rngs:       make([]*rand.Rand, p.N),
+		pcgs:       make([]*rand.PCG, p.N),
+		x:          make([]float64, p.N),
+		y:          make([]float64, p.N),
+		index:      ix,
+		bound:      true,
+		neverRests: model.NeverRests(),
+	}
+	if !w.neverRests {
+		// A model that can rest needs the per-agent dirty bitmap so resting
+		// agents are skipped by the index's delta update. When every agent
+		// moves every step the bitmap carries no information, and leaving
+		// View.Dirty nil erases its bookkeeping (the clear, the per-agent
+		// store, and the sampling scan in syncIndex) from the step entirely.
+		w.dirty = make([]bool, p.N)
 	}
 	view := mobility.View{X: w.x, Y: w.y, Dirty: w.dirty}
 	for i := range w.agents {
@@ -261,12 +270,15 @@ func (w *World) Time() int { return w.step }
 // index's delta-update path the per-agent dirty bits collected by the
 // mobility layer during the move (spatialindex.Index.Update; bit-identical
 // to a full rebuild, with an automatic counting-sort fallback when too
-// many agents changed bucket). With Params.Workers > 1 the agent moves run
-// on that many goroutines; the result is bit-identical to sequential
-// stepping because agents are fully independent and each writes only its
-// own position slot and dirty bit.
+// many agents changed bucket). Models that report NeverRests — every agent
+// moves every step, so every bit would be set — skip the bitmap entirely:
+// no clear, no per-agent store, no sampling scan; the index path is picked
+// on V/R alone and the resulting state is bit-identical either way. With
+// Params.Workers > 1 the agent moves run on that many goroutines; the
+// result is bit-identical to sequential stepping because agents are fully
+// independent and each writes only its own position slot and dirty bit.
 func (w *World) Step() {
-	if w.bound {
+	if w.bound && !w.neverRests {
 		clear(w.dirty)
 	}
 	switch {
@@ -295,9 +307,10 @@ func (w *World) Step() {
 // produce bit-identical index state.
 func (w *World) syncIndex() {
 	vOverR := w.params.V / w.params.R
-	if !w.bound {
-		// Third-party agents bypass the view, so there are no dirty bits
-		// to exploit; pick the path on V/R alone.
+	if !w.bound || w.neverRests {
+		// Third-party agents bypass the view, and never-resting models set
+		// every bit: either way there are no dirty bits worth exploiting,
+		// so pick the path on V/R alone.
 		if vOverR <= deltaUpdateMaxMoverFraction {
 			w.index.Update(w.x, w.y, nil)
 		} else {

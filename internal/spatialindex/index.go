@@ -94,6 +94,12 @@ type Index struct {
 	movers       []int32 // ids whose bucket changed, ascending
 	moversByCell []int32 // movers grouped by destination, ascending ids
 	moved        []bool  // id -> bucket changed this update (reset per update)
+
+	// Per-bucket change summary of the last re-synchronization (see
+	// ChangedBuckets). Exact only after an Update driven by a dirty bitmap;
+	// rebuilds, nil-dirty updates and fallback bails leave it inexact.
+	changed     []bool
+	changeExact bool
 }
 
 // Span is one contiguous CSR range: parallel id and coordinate slices
@@ -191,8 +197,24 @@ func (ix *Index) Rebuild(pts []geom.Point) {
 	ix.rebuildOwned()
 }
 
+// ChangedBuckets returns the per-bucket change summary of the last
+// re-synchronization and whether it is exact. When exact is true, marks[c]
+// is set iff some point whose position changed during the last Update sat
+// in bucket c before or after the move — equivalently, a bucket with a
+// clear mark holds exactly the points it held before the update, at
+// exactly the coordinates the index already published for them. Consumers
+// (the flooding sweep) use the marks to skip buckets whose whole 3x3
+// neighborhood is unchanged. When exact is false (full rebuilds, updates
+// without a dirty bitmap, fallback bails, population changes) every bucket
+// must be treated as changed; marks may be nil or stale and must not be
+// read. The slice is valid until the next rebuild or update.
+func (ix *Index) ChangedBuckets() (marks []bool, exact bool) {
+	return ix.changed, ix.changeExact
+}
+
 // rebuildOwned runs the counting sort over the already-copied xs/ys.
 func (ix *Index) rebuildOwned() {
+	ix.changeExact = false
 	xs, ys := ix.xs, ix.ys
 	starts := ix.starts
 	clear(starts)

@@ -39,6 +39,9 @@ func (ix *Index) ensureUpdate(n int) {
 		ix.mstarts = ix.slab[2*m : 3*m+1]
 		ix.startsAlt = make([]int32, m+1)
 	}
+	if len(ix.changed) != m {
+		ix.changed = make([]bool, m)
+	}
 }
 
 // Update incrementally re-synchronizes the index with the flat coordinate
@@ -89,6 +92,12 @@ func (ix *Index) ensureUpdate(n int) {
 //
 // A population-size change (len(xs) != Len()) degrades to a full rebuild
 // of the given slices (still retained).
+//
+// When dirty is non-nil and the patch completes without bailing, Update
+// also publishes an exact per-bucket change summary (ChangedBuckets): the
+// classify pass marks, for every dirty point, the bucket it occupied and —
+// for movers — the bucket it arrived in. The flooding sweep uses the
+// summary to skip buckets whose 3x3 neighborhood is untouched.
 func (ix *Index) Update(xs, ys []float64, dirty []bool) {
 	n := len(xs)
 	if len(ys) != n {
@@ -106,6 +115,9 @@ func (ix *Index) Update(xs, ys []float64, dirty []bool) {
 
 	ix.adopt(xs, ys)
 	ix.ensureUpdate(n)
+	// Assume the change summary will be inexact; the dirty-driven paths
+	// below flip it back on once they have marked every touched bucket.
+	ix.changeExact = false
 	m := ix.cols * ix.cols
 	maxMovers := int(UpdateFallbackFraction * float64(n))
 	movers := ix.movers[:0]
@@ -149,6 +161,13 @@ func (ix *Index) Update(xs, ys []float64, dirty []bool) {
 			}
 		}
 	} else {
+		// The dirty loop doubles as the change-summary pass: every dirty
+		// point marks the bucket it sat in (its coordinates there changed
+		// even if its bucket did not) and, when it moved bucket, the bucket
+		// it arrived in. Together the marks are exactly the buckets whose
+		// point set or published coordinates differ from the previous step.
+		chg := ix.changed
+		clear(chg)
 		for i := range xsn {
 			if !dirty[i] {
 				continue
@@ -162,7 +181,10 @@ func (ix *Index) Update(xs, ys []float64, dirty []bool) {
 				cy = ix.clampCol(cy)
 			}
 			c := int32(cy*cols + cx)
-			if old := cellOf[i]; old != c {
+			old := cellOf[i]
+			chg[old] = true
+			if old != c {
+				chg[c] = true
 				cellOf[i] = c
 				moved[i] = true
 				delta[old]--
@@ -185,6 +207,7 @@ func (ix *Index) Update(xs, ys []float64, dirty []bool) {
 		ix.rebuildOwned()
 		return
 	}
+	ix.changeExact = dirty != nil
 	if len(movers) == 0 {
 		// Nobody changed bucket: ids and starts are already exact; only the
 		// CSR coordinate streams must be refreshed from the new positions.
