@@ -1,12 +1,34 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test test-race bench bench-json bench-compare docs clean
+# GOTAGS selects the build variant: empty for the native build (AVX2
+# distance kernel on amd64, runtime feature detection), `purego` for the
+# portable pure-Go reference build. CI runs both; `make ci-purego` is the
+# local equivalent of the workflow's purego leg. Every Go-invoking target
+# honors it, so the Makefile is the single source of truth the GitHub
+# workflow calls into — no build logic lives in YAML.
+GOTAGS ?=
+TAGFLAG = $(if $(GOTAGS),-tags $(GOTAGS))
 
-# ci is the tier-1 gate: formatting, static checks, build, tests, the
-# race-detector pass over the parallel-merge property tests, the short
-# hot-loop benchmark smoke run, the benchmark regression gate against the
-# committed trajectory file, and the docs gate.
-ci: fmt vet build test test-race bench bench-compare docs
+.PHONY: ci ci-purego check fmt vet build test test-race bench bench-allocs bench-json bench-compare docs clean clean-check
+
+# ci is the full local tier-1 gate: the hardware-independent checks plus
+# the timing smoke run and the ns/op regression gate against the
+# committed trajectory file (which self-disables on non-comparable
+# hardware; see bench-compare).
+ci: check bench bench-compare
+
+# ci-purego is the fallback-path leg of the matrix: the same
+# hardware-independent gate with the assembly kernel compiled out.
+ci-purego:
+	$(MAKE) check GOTAGS=purego
+
+# check is the hardware-independent gate CI runs on every push for every
+# build variant: formatting, static checks, build, tests (including the
+# kernel property/fuzz seed corpus that pins the AVX2 and pure-Go paths
+# bit-identical), the race-detector pass over the parallel-merge
+# packages, the zero-allocation gate over the hot loops, and the docs
+# gate.
+check: fmt vet build test test-race bench-allocs docs
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -15,45 +37,54 @@ fmt:
 	fi
 
 vet:
-	$(GO) vet ./...
+	$(GO) vet $(TAGFLAG) ./...
 
 build:
-	$(GO) build ./...
+	$(GO) build $(TAGFLAG) ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test $(TAGFLAG) ./...
 
 # test-race runs the race detector over the packages whose property tests
 # exercise the parallel shard merges (flood sweep, chaining BFS levels,
 # parallel agent stepping) — exactly where an unsynchronized read would
 # hide behind deterministic output.
 test-race:
-	$(GO) test -race ./internal/core ./internal/sim
+	$(GO) test $(TAGFLAG) -race ./internal/core ./internal/sim
 
 # bench runs the micro-benchmarks briefly — a smoke test that the hot loops
 # still run allocation-free, not a measurement.
 bench:
-	$(GO) test -run '^$$' -bench 'WorldStep10k|FloodStep4k$$|IndexRebuild10k|IndexNeighbors10k' -benchtime 100x -benchmem .
+	$(GO) test $(TAGFLAG) -run '^$$' -bench 'WorldStep10k|FloodStep4k$$|IndexRebuild10k|IndexNeighbors10k' -benchtime 100x -benchmem .
+
+# bench-allocs is the hardware-independent allocation gate: the steady
+# state of every hot loop (world step, plain/chained flood step, KGossip
+# step, index delta update) must be 0 allocs/op. Exact on any machine, so
+# CI runs it where the absolute-ns/op gate would be meaningless.
+bench-allocs:
+	$(GO) run $(TAGFLAG) ./cmd/bench -allocs
 
 # BENCH_BASELINE is the benchmark trajectory file bench-json writes and
 # bench-compare diffs against; the committed default was recorded on the
-# reference machine (see its go_version/gomaxprocs header).
-BENCH_BASELINE ?= BENCH_4.json
+# reference machine (see its go_version/gomaxprocs/cpu_model header).
+BENCH_BASELINE ?= BENCH_5.json
 
 # bench-json regenerates the benchmark trajectory file. Baselines are
 # median-of-3 like the gate itself, so a descheduled single sample can
 # neither loosen nor tighten future comparisons.
 bench-json:
-	$(GO) run ./cmd/bench -out $(BENCH_BASELINE) -k 3
+	$(GO) run $(TAGFLAG) ./cmd/bench -out $(BENCH_BASELINE) -k 3
 
 # bench-compare measures the current tree and fails on >20% ns/op
 # regressions of any hot-loop benchmark versus the committed trajectory.
-# The comparison is absolute ns/op, so it is only meaningful on hardware
-# comparable to the machine that recorded the baseline. On a slower box,
-# record a local baseline first (make bench-json BENCH_BASELINE=/tmp/b.json
-# then make ci BENCH_BASELINE=/tmp/b.json) or skip this target.
+# The comparison is absolute ns/op, so the gate self-disables (with a
+# clear message) when the host's CPU model differs from the one recorded
+# in the baseline — GitHub runners, laptops. BENCH_FORCE_COMPARE=1
+# enforces it anyway; BENCH_SKIP_COMPARE=1 skips it even on the reference
+# box. To gate locally on non-reference hardware, record a local baseline
+# first: make bench-json BENCH_BASELINE=/tmp/b.json && make ci BENCH_BASELINE=/tmp/b.json
 bench-compare:
-	$(GO) run ./cmd/bench -out /tmp/bench_head.json -compare $(BENCH_BASELINE)
+	$(GO) run $(TAGFLAG) ./cmd/bench -out /tmp/bench_head.json -compare $(BENCH_BASELINE)
 
 # docs verifies that every package carries a doc comment and that the
 # links in README.md / ARCHITECTURE.md resolve.
@@ -62,3 +93,14 @@ docs:
 
 clean:
 	$(GO) clean ./...
+
+# clean-check is the CI step that keeps build artifacts out of PRs: after
+# a full build-and-test cycle plus `make clean`, the working tree must be
+# byte-identical to the checkout — any stray `*.test` binary, generated
+# file or formatting drift fails the job. (Run it from a clean checkout;
+# a dirty development tree will rightly fail.)
+clean-check: clean
+	@status="$$(git status --porcelain)"; \
+	if [ -n "$$status" ]; then \
+		echo "working tree not clean after build + make clean:"; echo "$$status"; exit 1; \
+	fi

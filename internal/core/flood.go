@@ -19,11 +19,15 @@
 // the three contiguous row spans, and the row-level occupancy skip (a grid
 // row whose occupants are all uninformed cannot contain a transmitter) —
 // is hoisted and computed once per bucket, since every candidate of a
-// bucket shares it. Candidate coordinates stream out of the index's
-// structure-of-arrays CSR slices sequentially; no 16-byte geom.Point is
-// ever loaded in the inner loop. In the paper's second phase (Theorem 3's
-// Suburb phase, when almost every agent is informed) a step costs
-// O(cells + #uninformed * blocksize), not O(n).
+// bucket shares it. The distance tests themselves go through the batched
+// internal/kernel radius kernel (AVX2 where available, bit-identical
+// pure-Go fallback elsewhere): per candidate and row span the kernel masks
+// the structure-of-arrays coordinate streams four lanes at a time and
+// folds the mask against an informed-by-CSR-position bitmap, so "does this
+// candidate hear a transmitter" is a vector compare plus a word AND. No
+// 16-byte geom.Point is ever loaded in the inner loop. In the paper's
+// second phase (Theorem 3's Suburb phase, when almost every agent is
+// informed) a step costs O(cells + #uninformed * blocksize), not O(n).
 //
 // The sweep is additionally dirty-driven when the world can prove what
 // moved: spatialindex.Index.Update publishes an exact per-bucket change
@@ -49,11 +53,11 @@
 // The WithinStepChaining ablation is a BFS from the step's newly informed
 // frontier instead of repeated full rescans: each dequeued agent scans its
 // 3x3 block for uninformed neighbors, informs them, and enqueues them. The
-// block scan runs over a per-step uninformed bitmap in CSR position order
-// (buildUninfBits): set bits are visited with trailing-zero iteration, so
-// the saturated interior behind the epidemic wave costs a few zero-word
-// loads per row and the mixed front jumps straight from candidate to
-// candidate, reading coordinates as interleaved sequential CSR pairs. The
+// block scan feeds each row span to the kernel with the per-step
+// uninformed bitmap (buildUninfBits) as the filter: the saturated interior
+// behind the epidemic wave costs a few zero-window loads per row, sparse
+// fronts fall back to per-set-bit scalar tests, and dense fronts pay one
+// vector mask folded word-by-word against the bitmap. The
 // fixed point is the same epidemic closure the naive iteration computes,
 // with each agent processed once. With Workers > 1 the BFS advances in
 // frontier-synchronized levels: each level is sharded over the workers,
@@ -71,6 +75,7 @@ import (
 
 	"manhattanflood/internal/cells"
 	"manhattanflood/internal/geom"
+	"manhattanflood/internal/kernel"
 	"manhattanflood/internal/sim"
 	"manhattanflood/internal/spatialindex"
 )
@@ -343,6 +348,28 @@ func (f *Flooding) prepareSweepSkip(ix *spatialindex.Index) {
 // (prepareSweepSkip), a bucket whose whole 3x3 block is unchanged since
 // the previous round is skipped with one more load, before any row span is
 // touched.
+// transMajorFactor selects the sweep's per-bucket evaluation strategy:
+// transmitter-major coverage when the block holds at most this many
+// transmitters per candidate (each transmitter then costs one MaskWord
+// over the bucket's candidate window, and the scan stops as soon as the
+// accumulated masks cover the uninformed word), candidate-major
+// otherwise (each candidate folds the kernel's row-span masks against
+// per-bucket transmitter windows — the regime of a lone straggler
+// surrounded by a saturated block). Both strategies evaluate the
+// identical predicate, so the choice never changes the result.
+const transMajorFactor = 3
+
+// rowWindowWords bounds the per-row transmitter windows of the
+// candidate-major path: 4 words = 256 lanes per 3-bucket row span.
+// Pathologically denser rows fall back to transmitter-major coverage,
+// which chunks arbitrary spans.
+const rowWindowWords = 4
+
+// sparseWndPop is the per-window cutoff below which the candidate-major
+// fold tests transmitter lanes one by one instead of masking the whole
+// 64-lane chunk.
+const sparseWndPop = 8
+
 func (f *Flooding) sweep(ix *spatialindex.Index, c0, c1 int, dst []int32) []int32 {
 	r := ix.Radius()
 	r2 := r * r
@@ -352,8 +379,10 @@ func (f *Flooding) sweep(ix *spatialindex.Index, c0, c1 int, dst []int32) []int3
 	bucketUninf := f.bucketUninf
 	skip := f.sweepSkip
 	var rowLo, rowHi [3]int32
+	var twnd [3][rowWindowWords]uint64
 	for c := c0; c < c1; c++ {
-		if bucketUninf[c] == 0 {
+		nu := bucketUninf[c]
+		if nu == 0 {
 			continue
 		}
 		if skip != nil && !skip[c] {
@@ -361,11 +390,14 @@ func (f *Flooding) sweep(ix *spatialindex.Index, c0, c1 int, dst []int32) []int3
 		}
 		lo, hi := ix.CellSpanBounds(c)
 		// Hoist the block geometry: all candidates in bucket c share it.
+		// Rows without a transmitter are dropped outright (a row whose
+		// occupants are all uninformed cannot inform anyone), and the
+		// surviving transmitter count — derived from the occupancy
+		// arrays alone, no flag loads — picks the evaluation strategy.
 		x0, x1, y0, y1 := ix.BlockBoundsCell(c)
-		// Keep only rows that contain at least one informed agent
-		// (occupancy skip, hoisted): all-uninformed rows have no
-		// transmitter for any candidate of this bucket.
 		nrows := 0
+		trans := int32(0)
+		fits := true
 		for yy := y0; yy <= y1; yy++ {
 			rlo, rhi := ix.RowSpanBounds(yy, x0, x1)
 			if rlo == rhi {
@@ -376,15 +408,75 @@ func (f *Flooding) sweep(ix *spatialindex.Index, c0, c1 int, dst []int32) []int3
 			for xx := x0; xx <= x1; xx++ {
 				uninf += bucketUninf[base+xx]
 			}
-			if uninf == rhi-rlo {
+			t := (rhi - rlo) - uninf
+			if t == 0 {
 				continue
+			}
+			if rhi-rlo > rowWindowWords*64 {
+				fits = false
 			}
 			rowLo[nrows], rowHi[nrows] = rlo, rhi
 			nrows++
+			trans += t
 		}
 		if nrows == 0 {
 			continue
 		}
+
+		if trans <= transMajorFactor*nu || !fits {
+			// Transmitter-major coverage: one kernel MaskWord per
+			// transmitter tests the bucket's whole candidate window at
+			// once; the masks accumulate into heard until they cover
+			// the uninformed word, at which point no further
+			// transmitter can change anything. The OR is
+			// order-independent, so the early exit keeps the result
+			// bit-identical to an exhaustive scan.
+			for w0 := lo; w0 < hi; w0 += 64 {
+				w1 := w0 + 64
+				if w1 > hi {
+					w1 = hi
+				}
+				var want uint64
+				for k := w0; k < w1; k++ {
+					if !informed[ids[k]] {
+						want |= 1 << uint(k-w0)
+					}
+				}
+				if want == 0 {
+					continue
+				}
+				cwx := cxs[w0:w1:w1]
+				cwy := cys[w0:w1:w1]
+				var heard uint64
+			scan:
+				for ri := 0; ri < nrows; ri++ {
+					for k := rowLo[ri]; k < rowHi[ri]; k++ {
+						if informed[ids[k]] {
+							heard |= kernel.MaskWord(cwx, cwy, cxs[k], cys[k], r2)
+							if heard&want == want {
+								break scan
+							}
+						}
+					}
+				}
+				for hw := heard & want; hw != 0; {
+					k := w0 + int32(bits.TrailingZeros64(hw))
+					hw &= hw - 1
+					dst = append(dst, ids[k])
+				}
+			}
+			continue
+		}
+
+		// Candidate-major: per-row transmitter windows (bit j of a
+		// window: row lane j is informed) are built lazily, on the
+		// first candidate that reaches the row — a bucket whose
+		// candidates all resolve in the first row never pays for the
+		// others. Each candidate then folds kernel masks against them:
+		// a zero window skips a 64-lane chunk with one load, a sparse
+		// window tests its transmitter lanes one by one, and a dense
+		// window pays one MaskWord and a single AND.
+		var built [3]bool
 		for k := lo; k < hi; k++ {
 			id := ids[k]
 			if informed[id] {
@@ -393,23 +485,46 @@ func (f *Flooding) sweep(ix *spatialindex.Index, c0, c1 int, dst []int32) []int3
 			px, py := cxs[k], cys[k]
 			found := false
 			for ri := 0; ri < nrows && !found; ri++ {
-				rowIDs := ids[rowLo[ri]:rowHi[ri]]
-				rowX := cxs[rowLo[ri]:rowHi[ri]:rowHi[ri]]
-				rowY := cys[rowLo[ri]:rowHi[ri]:rowHi[ri]]
-				for j, jid := range rowIDs {
-					// Informed first: near the frontier whole runs of a
-					// row share the answer, so this branch predicts
-					// well; the distance test is then one branch of
-					// pipelined FP math on the two sequential
-					// coordinate streams.
-					if !informed[jid] {
+				rlo, rhi := rowLo[ri], rowHi[ri]
+				nw := int(rhi-rlo+63) >> 6
+				if !built[ri] {
+					built[ri] = true
+					for j := 0; j < nw; j++ {
+						k0 := rlo + int32(j)<<6
+						k1 := k0 + 64
+						if k1 > rhi {
+							k1 = rhi
+						}
+						var w uint64
+						for k := k0; k < k1; k++ {
+							if informed[ids[k]] {
+								w |= 1 << uint(k-k0)
+							}
+						}
+						twnd[ri][j] = w
+					}
+				}
+				for j := 0; j < nw && !found; j++ {
+					wnd := twnd[ri][j]
+					if wnd == 0 {
 						continue
 					}
-					dx := rowX[j] - px
-					dy := rowY[j] - py
-					if dx*dx+dy*dy <= r2 {
-						found = true
-						break
+					k0 := rlo + int32(j)<<6
+					k1 := k0 + 64
+					if k1 > rhi {
+						k1 = rhi
+					}
+					if bits.OnesCount64(wnd) < sparseWndPop {
+						for w := wnd; w != 0; {
+							t := k0 + int32(bits.TrailingZeros64(w))
+							w &= w - 1
+							if kernel.Hit(cxs[t], cys[t], px, py, r2) {
+								found = true
+								break
+							}
+						}
+					} else {
+						found = kernel.MaskWord(cxs[k0:k1:k1], cys[k0:k1:k1], px, py, r2)&wnd != 0
 					}
 				}
 			}
@@ -481,41 +596,24 @@ func (f *Flooding) buildUninfBits(ids []int32) []uint64 {
 
 // chainBlockScan visits every uninformed candidate in the 3x3 block around
 // (px, py), in ascending CSR position order, and calls visit(k) for each
-// candidate within r2. Candidates come straight off the uninformed bitmap:
-// each block row is at most a few 64-bit words, zero words (the saturated
-// interior) fall out of the loop immediately, and surviving set bits index
-// the CSR coordinate streams as one interleaved sequential pair per
-// candidate. visit may clear bits of positions it has been called for (the
-// sequential closure does; the parallel scan, which must not write shared
-// state, does not) — the local word snapshot only carries bits that have
-// not been visited yet, so the iteration never observes its own clears.
+// candidate within r2. Each block row is one kernel span: the uninformed
+// bitmap is the kernel's filter, so zero windows (the saturated interior)
+// cost no floating-point work at all, sparse windows fall back to the
+// per-set-bit scalar test, and the mixed wave front pays one vector mask
+// folded word-by-word against the bitmap. visit may clear bits of
+// positions it has been called for (the sequential closure does; the
+// parallel scan, which must not write shared state, does not) — the
+// kernel snapshots filter windows before iterating, so the scan never
+// observes its own clears. visit must return true to continue.
 func chainBlockScan(ix *spatialindex.Index, words []uint64,
-	cxs, cys []float64, px, py, r2 float64, visit func(k int)) {
+	cxs, cys []float64, px, py, r2 float64, visit func(k int) bool) {
 	x0, x1, y0, y1 := ix.BlockBoundsXY(px, py)
 	for by := y0; by <= y1; by++ {
 		lo, hi := ix.RowSpanBounds(by, x0, x1)
 		if lo >= hi {
 			continue
 		}
-		wLo, wHi := int(lo)>>6, (int(hi)+63)>>6
-		for w := wLo; w < wHi; w++ {
-			word := words[w]
-			if w == wLo {
-				word &= ^uint64(0) << (uint(lo) & 63)
-			}
-			if w == wHi-1 && int(hi)&63 != 0 {
-				word &= (1 << (uint(hi) & 63)) - 1
-			}
-			for word != 0 {
-				k := w<<6 + bits.TrailingZeros64(word)
-				word &= word - 1
-				dx := cxs[k] - px
-				dy := cys[k] - py
-				if dx*dx+dy*dy <= r2 {
-					visit(k)
-				}
-			}
-		}
+		kernel.VisitHits(cxs[lo:hi], cys[lo:hi], px, py, r2, words, int(lo), visit)
 	}
 }
 
@@ -540,11 +638,12 @@ func (f *Flooding) chainClosure(ix *spatialindex.Index) int {
 	frontier := len(queue)
 	for qi := 0; qi < len(queue); qi++ {
 		j := queue[qi]
-		chainBlockScan(ix, words, cxs, cys, xs[j], ys[j], r2, func(k int) {
+		chainBlockScan(ix, words, cxs, cys, xs[j], ys[j], r2, func(k int) bool {
 			id := ids[k]
 			informed[id] = true
 			words[k>>6] &^= 1 << (uint(k) & 63)
 			queue = append(queue, id)
+			return true
 		})
 	}
 	chained := len(queue) - frontier
@@ -566,8 +665,9 @@ func (f *Flooding) chainScan(ix *spatialindex.Index, level []int32, dst []int32)
 	_, cxs, cys := ix.CSR()
 	words := f.uninfBits
 	for _, j := range level {
-		chainBlockScan(ix, words, cxs, cys, xs[j], ys[j], r2, func(k int) {
+		chainBlockScan(ix, words, cxs, cys, xs[j], ys[j], r2, func(k int) bool {
 			dst = append(dst, int32(k))
+			return true
 		})
 	}
 	return dst

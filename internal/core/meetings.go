@@ -5,8 +5,8 @@ import (
 	"math"
 
 	"manhattanflood/internal/cells"
+	"manhattanflood/internal/kernel"
 	"manhattanflood/internal/sim"
-	"manhattanflood/internal/spatialindex"
 )
 
 // MeetingReport measures the mechanism behind Lemma 16: every agent
@@ -63,36 +63,41 @@ func MeasureMeetings(w *sim.World, part *cells.Partition, maxSteps int) (Meeting
 	met := make([]bool, w.N())
 	remaining := len(suburb)
 
+	var czBits []uint64
 	check := func(step int) {
 		ix := w.Index()
 		xs, ys := ix.XS(), ix.YS()
-		var spans [3]spatialindex.Span
+		ids, cxs, cys := ix.CSR()
+		// From-Central-Zone bitmap by CSR position (the membership is
+		// fixed at time 0, the positions are not): the kernel filter for
+		// the meeting test below. The neighbor index radius is
+		// R >= (3/4)R, so the block spans cover the meeting distance;
+		// the kernel masks with meetR2 directly. A suburb agent is never
+		// fromCZ, so the j != i exclusion is implied by the filter.
+		nw := kernel.Words(len(ids))
+		if cap(czBits) < nw {
+			czBits = make([]uint64, nw)
+		}
+		czBits = czBits[:nw]
+		clear(czBits)
+		for k, id := range ids {
+			if fromCZ[id] {
+				czBits[k>>6] |= 1 << (uint(k) & 63)
+			}
+		}
 		for _, i := range suburb {
 			if met[i] {
 				continue
 			}
 			px, py := xs[i], ys[i]
 			found := false
-			// The neighbor index radius is R >= (3/4)R, so filter by the
-			// meeting distance while streaming the block's CSR coordinate
-			// spans (reject on |dx| before touching Y).
-			nr := ix.BlockSpans(px, py, &spans)
-			for ri := 0; ri < nr && !found; ri++ {
-				s := spans[ri]
-				for k, j := range s.IDs {
-					dx := s.XS[k] - px
-					if dx > meetR || dx < -meetR {
-						continue
-					}
-					if j == i || !fromCZ[j] {
-						continue
-					}
-					dy := s.YS[k] - py
-					if dx*dx+dy*dy <= meetR2 {
-						found = true
-						break
-					}
+			x0, x1, y0, y1 := ix.BlockBoundsXY(px, py)
+			for by := y0; by <= y1 && !found; by++ {
+				lo, hi := ix.RowSpanBounds(by, x0, x1)
+				if lo >= hi {
+					continue
 				}
+				found = kernel.AnyHit(cxs[lo:hi], cys[lo:hi], px, py, meetR2, czBits, int(lo))
 			}
 			if found {
 				met[i] = true

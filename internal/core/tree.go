@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
+	"manhattanflood/internal/kernel"
 	"manhattanflood/internal/sim"
-	"manhattanflood/internal/spatialindex"
 )
 
 // TreeFlooding is plain flooding instrumented with the infection tree: for
@@ -23,6 +23,7 @@ type TreeFlooding struct {
 	parent   []int32
 	when     []int32
 	hits     []treeHit // scratch: this step's (child, parent) pairs
+	infBits  []uint64  // scratch: informed-by-CSR-position bitmap (kernel filter)
 }
 
 // treeHit is one newly informed agent and its chosen parent.
@@ -76,34 +77,50 @@ func (f *TreeFlooding) InformedAt(i int) int { return int(f.when[i]) }
 // Step advances the world and performs one transmission round, recording
 // parents. When several informed agents are in range, the closest one
 // becomes the parent (ties by lowest id), which makes the tree
-// deterministic.
+// deterministic. Candidates stream each row span through the batched
+// radius kernel with an informed-by-CSR-position bitmap as the filter, so
+// only actual (informed, in-range) hits reach the argmin; hits arrive in
+// ascending CSR order, the same order the scalar scan visited them in.
 func (f *TreeFlooding) Step() int {
 	f.w.Step()
 	ix := f.w.Index()
 	r2 := ix.Radius() * ix.Radius()
 	now := int32(f.w.Time())
 	xs, ys := ix.XS(), ix.YS()
+	ids, cxs, cys := ix.CSR()
+	nw := kernel.Words(len(ids))
+	if cap(f.infBits) < nw {
+		f.infBits = make([]uint64, nw)
+	}
+	infBits := f.infBits[:nw]
+	clear(infBits)
+	for k, id := range ids {
+		if f.informed[id] {
+			infBits[k>>6] |= 1 << (uint(k) & 63)
+		}
+	}
 	newly := f.hits[:0]
-	var spans [3]spatialindex.Span
 	for i := range f.informed {
 		if f.informed[i] {
 			continue
 		}
 		px, py := xs[i], ys[i]
 		best, bestD := int32(-1), math.Inf(1)
-		nr := ix.BlockSpans(px, py, &spans)
-		for ri := 0; ri < nr; ri++ {
-			s := spans[ri]
-			for k, j := range s.IDs {
-				if !f.informed[j] {
-					continue
-				}
-				dx := s.XS[k] - px
-				dy := s.YS[k] - py
-				if d := dx*dx + dy*dy; d <= r2 && (d < bestD || (d == bestD && j < best)) {
+		x0, x1, y0, y1 := ix.BlockBoundsXY(px, py)
+		for by := y0; by <= y1; by++ {
+			lo, hi := ix.RowSpanBounds(by, x0, x1)
+			if lo >= hi {
+				continue
+			}
+			kernel.VisitHits(cxs[lo:hi], cys[lo:hi], px, py, r2, infBits, int(lo), func(k int) bool {
+				j := ids[k]
+				dx := cxs[k] - px
+				dy := cys[k] - py
+				if d := dx*dx + dy*dy; d < bestD || (d == bestD && j < best) {
 					best, bestD = j, d
 				}
-			}
+				return true
+			})
 		}
 		if best >= 0 {
 			newly = append(newly, treeHit{child: int32(i), parent: best})

@@ -5,8 +5,8 @@ import (
 	"math/rand/v2"
 
 	"manhattanflood/internal/geom"
+	"manhattanflood/internal/kernel"
 	"manhattanflood/internal/sim"
-	"manhattanflood/internal/spatialindex"
 )
 
 // ParsimoniousFlooding is the probabilistic-forwarding variant studied by
@@ -20,8 +20,9 @@ type ParsimoniousFlooding struct {
 	rng      *rand.Rand
 	informed []bool
 	count    int
-	active   []bool  // scratch: who transmits this round
-	newly    []int32 // scratch: this round's hits
+	active   []bool   // scratch: who transmits this round
+	actBits  []uint64 // scratch: active-by-CSR-position bitmap (kernel filter)
+	newly    []int32  // scratch: this round's hits
 	// Transmissions counts how many agent-transmissions were performed.
 	transmissions int64
 }
@@ -78,30 +79,37 @@ func (f *ParsimoniousFlooding) Step() int {
 		}
 	}
 	xs, ys := ix.XS(), ix.YS()
+	ids, cxs, cys := ix.CSR()
+	// Active-by-CSR-position bitmap: the kernel filter for this round's
+	// transmitter test — only a p-fraction of the informed transmit, so
+	// the filter keeps the silent agents out of the fold entirely.
+	nw := kernel.Words(len(ids))
+	if cap(f.actBits) < nw {
+		f.actBits = make([]uint64, nw)
+	}
+	actBits := f.actBits[:nw]
+	clear(actBits)
+	for k, id := range ids {
+		if f.active[id] {
+			actBits[k>>6] |= 1 << (uint(k) & 63)
+		}
+	}
+	f.actBits = actBits
 	newly := f.newly[:0]
-	var spans [3]spatialindex.Span
 	for i := range f.informed {
 		if f.informed[i] {
 			continue
 		}
 		px, py := xs[i], ys[i]
-		nr := ix.BlockSpans(px, py, &spans)
-	scan:
-		for ri := 0; ri < nr; ri++ {
-			s := spans[ri]
-			for k, j := range s.IDs {
-				// Active first: only a p-fraction of the informed
-				// transmit, so this skip predicts well and avoids the
-				// FP work for silent agents.
-				if !f.active[j] {
-					continue
-				}
-				dx := s.XS[k] - px
-				dy := s.YS[k] - py
-				if dx*dx+dy*dy <= r2 {
-					newly = append(newly, int32(i))
-					break scan
-				}
+		x0, x1, y0, y1 := ix.BlockBoundsXY(px, py)
+		for by := y0; by <= y1; by++ {
+			lo, hi := ix.RowSpanBounds(by, x0, x1)
+			if lo >= hi {
+				continue
+			}
+			if kernel.AnyHit(cxs[lo:hi], cys[lo:hi], px, py, r2, actBits, int(lo)) {
+				newly = append(newly, int32(i))
+				break
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"manhattanflood/internal/geom"
+	"manhattanflood/internal/kernel"
 	"manhattanflood/internal/spatialindex"
 )
 
@@ -71,32 +72,24 @@ func (g *Disk) Neighbors(i int, dst []int) []int {
 }
 
 // Components computes the connected components via union-find in
-// O(n + edges * alpha). The edge scan streams the CSR coordinate spans,
-// rejecting on |dx| before touching Y.
+// O(n + edges * alpha). The edge scan masks each CSR row span through the
+// batched radius kernel and unions the hits.
 func (g *Disk) Components() *UnionFind {
 	u := NewUnionFind(len(g.xs))
-	r := g.radius
-	r2 := r * r
+	r2 := g.radius * g.radius
 	var spans [3]spatialindex.Span
 	for i := range g.xs {
 		px, py := g.xs[i], g.ys[i]
 		nr := g.index.BlockSpans(px, py, &spans)
 		for ri := 0; ri < nr; ri++ {
 			s := spans[ri]
-			for k, j := range s.IDs {
+			kernel.VisitHits(s.XS, s.YS, px, py, r2, nil, 0, func(k int) bool {
 				// Each undirected edge once.
-				if int(j) <= i {
-					continue
+				if int(s.IDs[k]) > i {
+					u.Union(i, int(s.IDs[k]))
 				}
-				dx := s.XS[k] - px
-				if dx > r || dx < -r {
-					continue
-				}
-				dy := s.YS[k] - py
-				if dx*dx+dy*dy <= r2 {
-					u.Union(i, int(j))
-				}
-			}
+				return true
+			})
 		}
 	}
 	return u
@@ -140,8 +133,7 @@ func (g *Disk) BFSFrom(src int) ([]int, error) {
 		dist[i] = -1
 	}
 	dist[src] = 0
-	r := g.radius
-	r2 := r * r
+	r2 := g.radius * g.radius
 	queue := make([]int32, 0, n)
 	queue = append(queue, int32(src))
 	var spans [3]spatialindex.Span
@@ -152,20 +144,13 @@ func (g *Disk) BFSFrom(src int) ([]int, error) {
 		nr := g.index.BlockSpans(px, py, &spans)
 		for ri := 0; ri < nr; ri++ {
 			s := spans[ri]
-			for k, w := range s.IDs {
-				if dist[w] != -1 {
-					continue
-				}
-				dx := s.XS[k] - px
-				if dx > r || dx < -r {
-					continue
-				}
-				dy := s.YS[k] - py
-				if dx*dx+dy*dy <= r2 {
+			kernel.VisitHits(s.XS, s.YS, px, py, r2, nil, 0, func(k int) bool {
+				if w := s.IDs[k]; dist[w] == -1 {
 					dist[w] = dist[v] + 1
 					queue = append(queue, w)
 				}
-			}
+				return true
+			})
 		}
 	}
 	return dist, nil

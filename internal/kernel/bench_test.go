@@ -1,0 +1,41 @@
+package kernel
+
+import (
+	"math/rand/v2"
+	"strconv"
+	"testing"
+)
+
+// benchSpan builds a dense random span the size of a typical 3-bucket
+// CSR row.
+func benchSpan(n int) (xs, ys []float64) {
+	rng := rand.New(rand.NewPCG(uint64(n), 0xca5e))
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := range xs {
+		xs[i], ys[i] = rng.Float64()*20, rng.Float64()*20
+	}
+	return xs, ys
+}
+
+// BenchmarkMaskSpan measures the raw span kernel on both selectable
+// paths at the row-span sizes the flooding sweep actually issues.
+func BenchmarkMaskSpan(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		xs, ys := benchSpan(n)
+		dst := make([]uint64, Words(n))
+		for _, path := range []struct {
+			name    string
+			generic bool
+		}{{"active", false}, {"generic", true}} {
+			b.Run(path.name+"/"+strconv.Itoa(n), func(b *testing.B) {
+				SetGeneric(path.generic)
+				defer SetGeneric(false)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					Mask(dst, xs, ys, 10, 10, 4)
+				}
+			})
+		}
+	}
+}

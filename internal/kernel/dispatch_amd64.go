@@ -1,0 +1,140 @@
+//go:build amd64 && !purego
+
+package kernel
+
+import (
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+// avx2Available is the one-time CPUID verdict: AVX2 present and the OS
+// saves/restores YMM state. Immutable after init.
+var avx2Available = detectAVX2()
+
+// defaultAVX2 is the selection the process starts with: the hardware
+// verdict, minus the GODEBUG=mfkernel=generic override.
+var defaultAVX2 = avx2Available && !godebugForcesGeneric(os.Getenv("GODEBUG"))
+
+// useAVX2 is the runtime switch Mask consults on every call. Atomic so
+// SetGeneric may flip it while concurrent sweep shards are querying —
+// both paths produce bit-identical masks, so a mid-flight flip is
+// harmless (and property-tested).
+var useAVX2 atomic.Bool
+
+func init() {
+	useAVX2.Store(defaultAVX2)
+}
+
+// godebugForcesGeneric reports whether the GODEBUG value carries the
+// mfkernel=generic token, the runtime opt-out that forces the portable
+// reference kernel without rebuilding.
+func godebugForcesGeneric(godebug string) bool {
+	for godebug != "" {
+		var kv string
+		kv, godebug, _ = strings.Cut(godebug, ",")
+		if kv == "mfkernel=generic" {
+			return true
+		}
+	}
+	return false
+}
+
+// detectAVX2 performs the CPUID dance: AVX2 (leaf 7 EBX bit 5) is only
+// usable when the OS has enabled XMM+YMM state saving (OSXSAVE plus
+// XCR0 bits 1 and 2).
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const (
+		osxsaveBit = 1 << 27 // CPUID.1:ECX.OSXSAVE
+		avxBit     = 1 << 28 // CPUID.1:ECX.AVX
+	)
+	_, _, ecx1, _ := cpuidex(1, 0)
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 { // XMM and YMM state enabled by the OS
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}
+
+// cpuidex executes CPUID with the given leaf and subleaf.
+//
+//go:noescape
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the OS-enabled extended-state mask.
+//
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+// maskAVX2 is the assembly kernel: it writes ceil(n/64) mask words to
+// dst for the first n lanes of xs/ys. n must be a positive multiple of
+// 4. Plain VSUBPD/VMULPD/VADDPD plus an ordered VCMPPD — no FMA — so
+// every lane is bit-identical to maskGenericRange.
+//
+//go:noescape
+func maskAVX2(dst *uint64, xs, ys *float64, px, py, r2 float64, n int)
+
+// maskInto dispatches one span's mask computation to the selected
+// implementation. The assembly path covers the largest multiple of four
+// lanes; the reference loop finishes the tail in place.
+func maskInto(dst []uint64, xs, ys []float64, px, py, r2 float64) {
+	n := len(xs)
+	if n >= 16 && useAVX2.Load() {
+		n4 := n &^ 3
+		maskAVX2(&dst[0], &xs[0], &ys[0], px, py, r2, n4)
+		maskGenericRange(dst, xs, ys, px, py, r2, n4, n)
+		return
+	}
+	maskGenericRange(dst, xs, ys, px, py, r2, 0, n)
+}
+
+// MaskWord returns the radius-test bitmask of a span of at most 64
+// lanes as a single word — the buffer-free fast path for CSR row spans,
+// which almost always fit one word. Bit k (k < len(xs)) is set iff lane
+// k is within r2 of (px, py); higher bits are zero. Same bit-identity
+// contract as Mask. len(xs) must be <= 64.
+func MaskWord(xs, ys []float64, px, py, r2 float64) uint64 {
+	n := len(xs)
+	if n > 64 {
+		panic("kernel: MaskWord span longer than 64 lanes")
+	}
+	if n >= 8 && useAVX2.Load() {
+		var w uint64
+		n4 := n &^ 3
+		maskAVX2(&w, &xs[0], &ys[0], px, py, r2, n4)
+		if n4 < n {
+			w = maskWordGeneric(w, xs, ys, px, py, r2, n4)
+		}
+		return w
+	}
+	return maskWordGeneric(0, xs, ys, px, py, r2, 0)
+}
+
+// Path reports which implementation Mask currently uses: "avx2" or
+// "generic".
+func Path() string {
+	if useAVX2.Load() {
+		return "avx2"
+	}
+	return "generic"
+}
+
+// HasAVX2 reports the hardware verdict, independent of the current
+// selection.
+func HasAVX2() bool { return avx2Available }
+
+// SetGeneric forces the portable reference implementation (true) or
+// restores the process-default selection (false). It exists for the
+// differential and downgrade tests; flipping it mid-run is safe because
+// both implementations are bit-identical.
+func SetGeneric(force bool) {
+	useAVX2.Store(!force && defaultAVX2)
+}

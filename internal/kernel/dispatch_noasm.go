@@ -1,0 +1,32 @@
+//go:build !amd64 || purego
+
+package kernel
+
+// maskInto dispatches one span's mask computation. Without the assembly
+// kernel (non-amd64, or the purego build tag) the reference loop is the
+// only implementation.
+func maskInto(dst []uint64, xs, ys []float64, px, py, r2 float64) {
+	maskGenericRange(dst, xs, ys, px, py, r2, 0, len(xs))
+}
+
+// MaskWord returns the radius-test bitmask of a span of at most 64
+// lanes as a single word; bit k (k < len(xs)) is set iff lane k is
+// within r2 of (px, py). On this build it is the reference loop.
+// len(xs) must be <= 64.
+func MaskWord(xs, ys []float64, px, py, r2 float64) uint64 {
+	if len(xs) > 64 {
+		panic("kernel: MaskWord span longer than 64 lanes")
+	}
+	return maskWordGeneric(0, xs, ys, px, py, r2, 0)
+}
+
+// Path reports which implementation Mask currently uses; always
+// "generic" on this build.
+func Path() string { return "generic" }
+
+// HasAVX2 reports the hardware verdict; always false on this build.
+func HasAVX2() bool { return false }
+
+// SetGeneric is a no-op on this build: the reference implementation is
+// already the only path.
+func SetGeneric(force bool) {}

@@ -1,0 +1,56 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// decodeSpan splits raw bytes into two equal-length float64 coordinate
+// streams (interleaved x, y pairs, 16 bytes per lane). Arbitrary bit
+// patterns are legal float64s — NaNs, infinities, subnormals included —
+// which is exactly what the differential fuzzer wants to feed both
+// implementations.
+func decodeSpan(data []byte) (xs, ys []float64) {
+	n := len(data) / 16
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*16:]))
+		ys[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*16+8:]))
+	}
+	return xs, ys
+}
+
+// FuzzMaskDifferential feeds arbitrary spans and query parameters to the
+// active implementation (AVX2 where the hardware has it) and to the
+// forced reference loop, and fails on any mask bit that differs — the
+// executable form of the kernel's bit-identity contract. Under `-tags
+// purego` both legs are the reference loop and the fuzz target
+// degenerates to a self-check, which is intended: the corpus then only
+// guards the helpers' chunking. Run with `go test -fuzz
+// FuzzMaskDifferential ./internal/kernel` to search beyond the committed
+// seed corpus.
+func FuzzMaskDifferential(f *testing.F) {
+	f.Add([]byte("0123456789abcdef0123456789abcdef0123456789abcdef"), 1.5, -2.25, 16.0)
+	f.Add([]byte{}, 0.0, 0.0, 0.0)
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0xf8, 0x7f, 1, 2, 3, 4, 5, 6, 7, 8}, 0.0, 0.0, math.Inf(1)) // NaN x lane
+	f.Fuzz(func(t *testing.T, data []byte, px, py, r2 float64) {
+		if len(data) > 1<<16 {
+			t.Skip("span too large")
+		}
+		xs, ys := decodeSpan(data)
+		want := refMask(xs, ys, px, py, r2)
+		got := make([]uint64, Words(len(xs)))
+		for i := range got {
+			got[i] = ^uint64(0)
+		}
+		Mask(got, xs, ys, px, py, r2)
+		for w := range want {
+			if got[w] != want[w] {
+				t.Fatalf("word %d: active path %016x != reference %016x (path=%s, n=%d, px=%v py=%v r2=%v)",
+					w, got[w], want[w], Path(), len(xs), px, py, r2)
+			}
+		}
+	})
+}

@@ -1,0 +1,240 @@
+package kernel
+
+import (
+	"math"
+	"math/bits"
+	"math/rand/v2"
+	"testing"
+)
+
+// refMask computes the mask with the reference loop only, into a fresh
+// buffer — the oracle every other path must match bit for bit.
+func refMask(xs, ys []float64, px, py, r2 float64) []uint64 {
+	dst := make([]uint64, Words(len(xs)))
+	maskGenericRange(dst, xs, ys, px, py, r2, 0, len(xs))
+	return dst
+}
+
+// randSpan draws n coordinates in [0, l), with a fraction of lanes
+// replaced by adversarial values: NaN, +/-Inf, exact copies of the query
+// point, and points at exactly distance sqrt(r2).
+func randSpan(rng *rand.Rand, n int, l, px, py, r2 float64) (xs, ys []float64) {
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := range xs {
+		switch rng.IntN(12) {
+		case 0:
+			xs[i], ys[i] = math.NaN(), rng.Float64()*l
+		case 1:
+			xs[i], ys[i] = rng.Float64()*l, math.NaN()
+		case 2:
+			xs[i], ys[i] = math.Inf(1), rng.Float64()*l
+		case 3:
+			xs[i], ys[i] = rng.Float64()*l, math.Inf(-1)
+		case 4:
+			// Exactly the query point: distance exactly 0.
+			xs[i], ys[i] = px, py
+		case 5:
+			// Exactly on the circle when r2 is a perfect square setup:
+			// (px+a, py+b) with a*a+b*b == r2 for a 3-4-5 style triple.
+			r := math.Sqrt(r2)
+			xs[i], ys[i] = px+r, py
+		default:
+			xs[i], ys[i] = rng.Float64()*l, rng.Float64()*l
+		}
+	}
+	return xs, ys
+}
+
+// TestMaskMatchesReference pins the active path (AVX2 where available)
+// bit-identical to the reference loop on randomized spans of every
+// length shape: empty, sub-vector, unaligned tails, multi-word, and
+// chunk-boundary lengths, with NaN/Inf lanes and exact-equality radii.
+func TestMaskMatchesReference(t *testing.T) {
+	t.Logf("kernel path: %s (hasAVX2=%v)", Path(), HasAVX2())
+	rng := rand.New(rand.NewPCG(1, 0xbeef))
+	lengths := []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 33, 63, 64, 65, 127, 128, 129, 255, 256, 511, 512, 513, 1000}
+	for _, n := range lengths {
+		for trial := 0; trial < 20; trial++ {
+			l := 100.0
+			px, py := rng.Float64()*l, rng.Float64()*l
+			r2 := 25.0 // sqrt = 5: admits exact 3-4-5 boundary lanes
+			if trial%3 == 0 {
+				r2 = rng.Float64() * 50
+			}
+			xs, ys := randSpan(rng, n, l, px, py, r2)
+			want := refMask(xs, ys, px, py, r2)
+			got := make([]uint64, Words(n))
+			for i := range got {
+				got[i] = ^uint64(0) // poison: Mask must overwrite fully
+			}
+			Mask(got, xs, ys, px, py, r2)
+			for w := range want {
+				if got[w] != want[w] {
+					t.Fatalf("n=%d trial=%d word %d: active path %016x != reference %016x (path=%s)",
+						n, trial, w, got[w], want[w], Path())
+				}
+			}
+		}
+	}
+}
+
+// TestMaskTailBitsZero pins the contract that bits at or beyond len(xs)
+// in the final word are zero, for every tail shape.
+func TestMaskTailBitsZero(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 0xbeef))
+	for n := 1; n <= 130; n++ {
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i], ys[i] = rng.Float64(), rng.Float64()
+		}
+		dst := make([]uint64, Words(n))
+		for i := range dst {
+			dst[i] = ^uint64(0)
+		}
+		// Huge radius: every real lane hits, so the tail is the only
+		// source of zero bits.
+		Mask(dst, xs, ys, 0, 0, math.Inf(1))
+		if rem := n & 63; rem != 0 {
+			if extra := dst[len(dst)-1] &^ (1<<uint(rem) - 1); extra != 0 {
+				t.Fatalf("n=%d: tail bits set: %016x", n, extra)
+			}
+		}
+		total := 0
+		for _, w := range dst {
+			total += bits.OnesCount64(w)
+		}
+		if total != n {
+			t.Fatalf("n=%d: %d bits set, want %d", n, total, n)
+		}
+	}
+}
+
+// TestHelpersMatchMask cross-checks AnyHit and VisitHits — including
+// their sparse scalar and dense vector routes and the chunking — against
+// the plain mask-and-fold composition, over randomized filters, bases
+// and span lengths.
+func TestHelpersMatchMask(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 0xbeef))
+	for trial := 0; trial < 300; trial++ {
+		total := 1 + rng.IntN(1200) // full bit space (e.g. a CSR array)
+		base := rng.IntN(total)
+		n := rng.IntN(total - base + 1)
+		if trial%7 == 0 {
+			n = 0
+		}
+		l := 50.0
+		px, py := rng.Float64()*l, rng.Float64()*l
+		r2 := rng.Float64() * 40
+		xs, ys := randSpan(rng, n, l, px, py, r2)
+
+		filter := make([]uint64, Words(total))
+		density := rng.Float64()
+		for b := 0; b < total; b++ {
+			if rng.Float64() < density {
+				filter[b>>6] |= 1 << (uint(b) & 63)
+			}
+		}
+
+		mask := refMask(xs, ys, px, py, r2)
+		var wantHits []int
+		for k := 0; k < n; k++ {
+			if mask[k>>6]&(1<<(uint(k)&63)) == 0 {
+				continue
+			}
+			if filter[(base+k)>>6]&(1<<(uint(base+k)&63)) == 0 {
+				continue
+			}
+			wantHits = append(wantHits, base+k)
+		}
+
+		if got := AnyHit(xs, ys, px, py, r2, filter, base); got != (len(wantHits) > 0) {
+			t.Fatalf("trial %d: AnyHit=%v want %v (n=%d base=%d)", trial, got, len(wantHits) > 0, n, base)
+		}
+		var gotHits []int
+		VisitHits(xs, ys, px, py, r2, filter, base, func(pos int) bool {
+			gotHits = append(gotHits, pos)
+			return true
+		})
+		if len(gotHits) != len(wantHits) {
+			t.Fatalf("trial %d: VisitHits %d hits, want %d", trial, len(gotHits), len(wantHits))
+		}
+		for i := range gotHits {
+			if gotHits[i] != wantHits[i] {
+				t.Fatalf("trial %d: hit %d at %d, want %d (order must be ascending)", trial, i, gotHits[i], wantHits[i])
+			}
+		}
+
+		// Unfiltered variants against the raw mask.
+		var unfiltered []int
+		for k := 0; k < n; k++ {
+			if mask[k>>6]&(1<<(uint(k)&63)) != 0 {
+				unfiltered = append(unfiltered, k)
+			}
+		}
+		if got := AnyHit(xs, ys, px, py, r2, nil, 0); got != (len(unfiltered) > 0) {
+			t.Fatalf("trial %d: unfiltered AnyHit=%v want %v", trial, got, len(unfiltered) > 0)
+		}
+		var gotUn []int
+		VisitHits(xs, ys, px, py, r2, nil, 0, func(pos int) bool {
+			gotUn = append(gotUn, pos)
+			return true
+		})
+		if len(gotUn) != len(unfiltered) {
+			t.Fatalf("trial %d: unfiltered VisitHits %d hits, want %d", trial, len(gotUn), len(unfiltered))
+		}
+		for i := range gotUn {
+			if gotUn[i] != unfiltered[i] {
+				t.Fatalf("trial %d: unfiltered hit %d at %d, want %d", trial, i, gotUn[i], unfiltered[i])
+			}
+		}
+	}
+}
+
+// TestVisitHitsEarlyStop pins the stop-on-false contract.
+func TestVisitHitsEarlyStop(t *testing.T) {
+	xs := []float64{0, 0, 0, 0}
+	ys := []float64{0, 0, 0, 0}
+	seen := 0
+	done := VisitHits(xs, ys, 0, 0, 1, nil, 0, func(pos int) bool {
+		seen++
+		return seen < 2
+	})
+	if done || seen != 2 {
+		t.Fatalf("early stop: done=%v seen=%d, want false/2", done, seen)
+	}
+}
+
+// TestSetGenericFlipsPath pins that the runtime downgrade switch
+// actually changes the selected path (on hardware that has both) and
+// that masks agree across the flip.
+func TestSetGenericFlipsPath(t *testing.T) {
+	defer SetGeneric(false)
+	if !HasAVX2() {
+		SetGeneric(true)
+		if Path() != "generic" {
+			t.Fatalf("Path()=%q on non-AVX2 build, want generic", Path())
+		}
+		return
+	}
+	rng := rand.New(rand.NewPCG(4, 0xbeef))
+	xs, ys := randSpan(rng, 257, 100, 50, 50, 25)
+	SetGeneric(false)
+	if Path() != "avx2" {
+		t.Skipf("AVX2 present but default path is %q (GODEBUG override?)", Path())
+	}
+	fast := make([]uint64, Words(len(xs)))
+	Mask(fast, xs, ys, 50, 50, 25)
+	SetGeneric(true)
+	if Path() != "generic" {
+		t.Fatalf("Path()=%q after SetGeneric(true), want generic", Path())
+	}
+	slow := make([]uint64, Words(len(xs)))
+	Mask(slow, xs, ys, 50, 50, 25)
+	for w := range fast {
+		if fast[w] != slow[w] {
+			t.Fatalf("word %d differs across downgrade: %016x vs %016x", w, fast[w], slow[w])
+		}
+	}
+}

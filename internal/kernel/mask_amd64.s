@@ -1,0 +1,93 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func maskAVX2(dst *uint64, xs, ys *float64, px, py, r2 float64, n int)
+//
+// Writes ceil(n/64) mask words to dst: bit k is set iff
+// (xs[k]-px)^2 + (ys[k]-py)^2 <= r2. n must be a positive multiple of 4.
+//
+// Four float64 lanes per iteration, and deliberately plain
+// VSUBPD/VMULPD/VADDPD with an ordered VCMPPD ($2 = LE_OS) — no FMA —
+// so every lane performs exactly the correctly-rounded operation
+// sequence of the pure-Go reference loop and the mask is bit-identical
+// to it, NaN and exact-equality lanes included.
+//
+// Each VMOVMSKPD yields a 4-bit nibble; nibbles are funneled into a
+// 64-bit accumulator top-down (shift right 4, OR into the top) so a full
+// word costs 16 iterations and no variable shifts; the final partial
+// word is right-aligned with one variable shift before the store.
+TEXT ·maskAVX2(SB), NOSPLIT, $0-56
+	MOVQ         dst+0(FP), DI
+	MOVQ         xs+8(FP), SI
+	MOVQ         ys+16(FP), DX
+	VBROADCASTSD px+24(FP), Y0
+	VBROADCASTSD py+32(FP), Y1
+	VBROADCASTSD r2+40(FP), Y2
+	MOVQ         n+48(FP), BX
+
+	XORQ AX, AX  // lane cursor
+	MOVQ BX, R11
+	SHRQ $6, R11 // number of full 64-lane words
+	JZ   tail
+
+word:
+	XORQ R8, R8  // word accumulator
+	MOVQ $16, R9 // 16 nibbles per word
+
+group:
+	VMOVUPD   (SI)(AX*8), Y3
+	VMOVUPD   (DX)(AX*8), Y4
+	VSUBPD    Y0, Y3, Y3
+	VSUBPD    Y1, Y4, Y4
+	VMULPD    Y3, Y3, Y3
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y3, Y3
+	VCMPPD    $2, Y2, Y3, Y3   // lane = (dx2+dy2 <= r2), ordered
+	VMOVMSKPD Y3, R10
+	SHRQ      $4, R8
+	SHLQ      $60, R10
+	ORQ       R10, R8
+	ADDQ      $4, AX
+	DECQ      R9
+	JNZ       group
+
+	MOVQ R8, (DI)
+	ADDQ $8, DI
+	DECQ R11
+	JNZ  word
+
+tail:
+	MOVQ BX, R9
+	SUBQ AX, R9
+	SHRQ $2, R9 // remaining nibbles (0..15)
+	JZ   done
+	MOVQ $64, CX
+	MOVQ R9, R12
+	SHLQ $2, R12
+	SUBQ R12, CX // right-alignment shift: 64 - 4*nibbles
+	XORQ R8, R8
+
+tgroup:
+	VMOVUPD   (SI)(AX*8), Y3
+	VMOVUPD   (DX)(AX*8), Y4
+	VSUBPD    Y0, Y3, Y3
+	VSUBPD    Y1, Y4, Y4
+	VMULPD    Y3, Y3, Y3
+	VMULPD    Y4, Y4, Y4
+	VADDPD    Y4, Y3, Y3
+	VCMPPD    $2, Y2, Y3, Y3
+	VMOVMSKPD Y3, R10
+	SHRQ      $4, R8
+	SHLQ      $60, R10
+	ORQ       R10, R8
+	ADDQ      $4, AX
+	DECQ      R9
+	JNZ       tgroup
+
+	SHRQ CX, R8 // right-align the partial word
+	MOVQ R8, (DI)
+
+done:
+	VZEROUPPER
+	RET

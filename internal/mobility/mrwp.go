@@ -55,6 +55,13 @@ func (m *MRWP) Name() string { return "mrwp" }
 // NeverRests implements Model: MRWP agents travel distance V every step.
 func (m *MRWP) NeverRests() bool { return true }
 
+// StepAgents implements BulkStepper with direct *MRWPAgent calls.
+func (m *MRWP) StepAgents(agents []Agent) {
+	for _, ag := range agents {
+		ag.(*MRWPAgent).Step()
+	}
+}
+
 // Config returns the model parameters.
 func (m *MRWP) Config() Config { return m.cfg }
 

@@ -58,6 +58,13 @@ func (m *PausedMRWP) Name() string { return "mrwp-paused" }
 // so the simulator must keep collecting per-agent dirty bits.
 func (m *PausedMRWP) NeverRests() bool { return false }
 
+// StepAgents implements BulkStepper with direct *PausedAgent calls.
+func (m *PausedMRWP) StepAgents(agents []Agent) {
+	for _, ag := range agents {
+		ag.(*PausedAgent).Step()
+	}
+}
+
 // PausedFraction returns the stationary probability q of being paused.
 func (m *PausedMRWP) PausedFraction() float64 {
 	meanPause := m.maxPause / 2

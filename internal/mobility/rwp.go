@@ -50,6 +50,13 @@ func (m *RWP) Name() string { return "rwp" }
 // NeverRests implements Model: RWP agents travel distance V every step.
 func (m *RWP) NeverRests() bool { return true }
 
+// StepAgents implements BulkStepper with direct *RWPAgent calls.
+func (m *RWP) StepAgents(agents []Agent) {
+	for _, ag := range agents {
+		ag.(*RWPAgent).Step()
+	}
+}
+
 // NewAgent implements Model.
 func (m *RWP) NewAgent(rng *rand.Rand) Agent {
 	a := &RWPAgent{}

@@ -34,6 +34,13 @@ func (m *RandomWalk) Name() string { return "random-walk" }
 // NeverRests implements Model: walkers move distance V every step.
 func (m *RandomWalk) NeverRests() bool { return true }
 
+// StepAgents implements BulkStepper with direct *WalkAgent calls.
+func (m *RandomWalk) StepAgents(agents []Agent) {
+	for _, ag := range agents {
+		ag.(*WalkAgent).Step()
+	}
+}
+
 // NewAgent implements Model. Agents start uniform, which is already the
 // stationary law of this model.
 func (m *RandomWalk) NewAgent(rng *rand.Rand) Agent {
@@ -118,6 +125,13 @@ func (m *RandomDirection) Name() string { return "random-direction" }
 
 // NeverRests implements Model: direction agents move distance V every step.
 func (m *RandomDirection) NeverRests() bool { return true }
+
+// StepAgents implements BulkStepper with direct *DirectionAgent calls.
+func (m *RandomDirection) StepAgents(agents []Agent) {
+	for _, ag := range agents {
+		ag.(*DirectionAgent).Step()
+	}
+}
 
 // NewAgent implements Model.
 func (m *RandomDirection) NewAgent(rng *rand.Rand) Agent {

@@ -151,10 +151,11 @@ type World struct {
 	agents     []mobility.Agent
 	rngs       []*rand.Rand
 	pcgs       []*rand.PCG
-	x, y       []float64 // SoA positions, indexed by agent id
-	dirty      []bool    // agents whose position changed this step (bound, resting models only)
-	bound      bool      // every agent writes its slot itself (SlotWriter)
-	neverRests bool      // model guarantees every agent moves every step
+	x, y       []float64            // SoA positions, indexed by agent id
+	dirty      []bool               // agents whose position changed this step (bound, resting models only)
+	bound      bool                 // every agent writes its slot itself (SlotWriter)
+	neverRests bool                 // model guarantees every agent moves every step
+	bulk       mobility.BulkStepper // model steps homogeneous agent slices directly (nil without the capability)
 	index      *spatialindex.Index
 	step       int
 }
@@ -211,6 +212,12 @@ func NewWorld(p Params, factory ModelFactory) (*World, error) {
 			w.x[i], w.y[i] = p.X, p.Y
 		}
 	}
+	// The bulk fast path requires every agent to publish through its own
+	// bound slot; a mixed/unbound population falls back to the generic
+	// loop, which also copies positions out by hand.
+	if w.bound {
+		w.bulk, _ = model.(mobility.BulkStepper)
+	}
 	w.index.RebuildXY(w.x, w.y)
 	return w, nil
 }
@@ -249,6 +256,9 @@ func (w *World) Reset(seed uint64) {
 		}
 	}
 	w.step = 0
+	if !w.bound {
+		w.bulk = nil
+	}
 	w.index.RebuildXY(w.x, w.y)
 }
 
@@ -284,6 +294,10 @@ func (w *World) Step() {
 	switch {
 	case w.params.Workers > 1 && len(w.agents) >= 2*w.params.Workers:
 		w.stepParallel()
+	case w.bulk != nil:
+		// Slot-bound agents publish their own position; the model's
+		// bulk stepper devirtualizes the per-agent call.
+		w.bulk.StepAgents(w.agents)
 	case w.bound:
 		// Slot-bound agents publish their own position; one interface
 		// call per agent.
@@ -361,6 +375,10 @@ func (w *World) stepParallel() {
 		go func(lo, hi int) {
 			defer wg.Done()
 			if w.bound {
+				if w.bulk != nil {
+					w.bulk.StepAgents(w.agents[lo:hi])
+					return
+				}
 				for i := lo; i < hi; i++ {
 					w.agents[i].Step()
 				}

@@ -61,6 +61,7 @@ import (
 	"math"
 
 	"manhattanflood/internal/geom"
+	"manhattanflood/internal/kernel"
 )
 
 // Index is a uniform-grid fixed-radius neighbor index in CSR form.
@@ -179,9 +180,22 @@ func (ix *Index) RebuildXY(xs, ys []float64) {
 		panic(fmt.Sprintf("spatialindex: coordinate slices disagree: len(xs)=%d len(ys)=%d", n, len(ys)))
 	}
 	ix.ensure(n)
-	copy(ix.xs, xs)
-	copy(ix.ys, ys)
-	ix.rebuildOwned()
+	// The snapshot copy is fused into the classify pass: one read of the
+	// caller's streams feeds both the owned buffers and the bucket
+	// counters, instead of a separate 2n-float64 memmove up front.
+	ix.changeExact = false
+	starts := ix.starts
+	clear(starts)
+	ox, oy := ix.xs, ix.ys
+	for i := range xs {
+		x, y := xs[i], ys[i]
+		ox[i] = x
+		oy[i] = y
+		c := int32(ix.bucketOfXY(x, y))
+		ix.cellOf[i] = c
+		starts[c+1]++
+	}
+	ix.finishRebuild()
 }
 
 // Rebuild re-populates the index with pts. It is the []geom.Point
@@ -212,17 +226,27 @@ func (ix *Index) ChangedBuckets() (marks []bool, exact bool) {
 	return ix.changed, ix.changeExact
 }
 
-// rebuildOwned runs the counting sort over the already-copied xs/ys.
+// rebuildOwned runs the counting sort over the current id-indexed view
+// (the owned copies, or slices retained by Update's fallback path).
 func (ix *Index) rebuildOwned() {
 	ix.changeExact = false
-	xs, ys := ix.xs, ix.ys
+	xs := ix.xs
 	starts := ix.starts
 	clear(starts)
 	for i := range xs {
-		c := int32(ix.bucketOfXY(xs[i], ys[i]))
+		c := int32(ix.bucketOfXY(xs[i], ix.ys[i]))
 		ix.cellOf[i] = c
 		starts[c+1]++
 	}
+	ix.finishRebuild()
+}
+
+// finishRebuild completes a counting sort whose classify pass has filled
+// cellOf and the per-bucket counts in starts[1:]: prefix-sum, stable id
+// scatter, and the sequential CSR coordinate fill.
+func (ix *Index) finishRebuild() {
+	xs, ys := ix.xs, ix.ys
+	starts := ix.starts
 	m := ix.cols * ix.cols
 	for c := 0; c < m; c++ {
 		starts[c+1] += starts[c]
@@ -399,29 +423,23 @@ func (ix *Index) BlockSpans(x, y float64, spans *[3]Span) int {
 // r <= Radius of q, excluding the point with id exclude (pass -1 to keep
 // all). Iteration stops early if fn returns false.
 //
-// The closure-based visitors remain for cold paths and tests; hot loops use
-// BlockSpans/CSR to avoid per-candidate function calls.
+// The closure-based visitors ride the batched kernel like every other
+// distance-test consumer: one hit mask per row span, closures invoked only
+// for actual hits.
 func (ix *Index) VisitNeighbors(q geom.Point, exclude int, fn func(id int, p geom.Point) bool) {
-	r := ix.radius
-	r2 := r * r
+	r2 := ix.radius * ix.radius
 	var spans [3]Span
 	nr := ix.BlockSpans(q.X, q.Y, &spans)
 	for ri := 0; ri < nr; ri++ {
 		s := spans[ri]
-		for k, id := range s.IDs {
-			if int(id) == exclude {
-				continue
+		done := kernel.VisitHits(s.XS, s.YS, q.X, q.Y, r2, nil, 0, func(k int) bool {
+			if int(s.IDs[k]) == exclude {
+				return true
 			}
-			dx := s.XS[k] - q.X
-			if dx > r || dx < -r {
-				continue
-			}
-			dy := s.YS[k] - q.Y
-			if dx*dx+dy*dy <= r2 {
-				if !fn(int(id), geom.Point{X: s.XS[k], Y: s.YS[k]}) {
-					return
-				}
-			}
+			return fn(int(s.IDs[k]), geom.Point{X: s.XS[k], Y: s.YS[k]})
+		})
+		if !done {
+			return
 		}
 	}
 }
@@ -430,22 +448,17 @@ func (ix *Index) VisitNeighbors(q geom.Point, exclude int, fn func(id int, p geo
 // of q, excluding the point with id exclude (pass -1 to keep all). The
 // result is appended to dst to allow allocation reuse.
 func (ix *Index) Neighbors(q geom.Point, exclude int, dst []int) []int {
-	r := ix.radius
-	r2 := r * r
+	r2 := ix.radius * ix.radius
 	var spans [3]Span
 	nr := ix.BlockSpans(q.X, q.Y, &spans)
 	for ri := 0; ri < nr; ri++ {
 		s := spans[ri]
-		for k, id := range s.IDs {
-			dx := s.XS[k] - q.X
-			if dx > r || dx < -r || int(id) == exclude {
-				continue
+		kernel.VisitHits(s.XS, s.YS, q.X, q.Y, r2, nil, 0, func(k int) bool {
+			if int(s.IDs[k]) != exclude {
+				dst = append(dst, int(s.IDs[k]))
 			}
-			dy := s.YS[k] - q.Y
-			if dx*dx+dy*dy <= r2 {
-				dst = append(dst, int(id))
-			}
-		}
+			return true
+		})
 	}
 	return dst
 }
@@ -453,23 +466,18 @@ func (ix *Index) Neighbors(q geom.Point, exclude int, dst []int) []int {
 // CountNeighbors returns the number of indexed points within the radius of
 // q, excluding the point with id exclude (pass -1 to keep all).
 func (ix *Index) CountNeighbors(q geom.Point, exclude int) int {
-	r := ix.radius
-	r2 := r * r
+	r2 := ix.radius * ix.radius
 	var spans [3]Span
 	nr := ix.BlockSpans(q.X, q.Y, &spans)
 	n := 0
 	for ri := 0; ri < nr; ri++ {
 		s := spans[ri]
-		for k, id := range s.IDs {
-			dx := s.XS[k] - q.X
-			if dx > r || dx < -r || int(id) == exclude {
-				continue
-			}
-			dy := s.YS[k] - q.Y
-			if dx*dx+dy*dy <= r2 {
+		kernel.VisitHits(s.XS, s.YS, q.X, q.Y, r2, nil, 0, func(k int) bool {
+			if int(s.IDs[k]) != exclude {
 				n++
 			}
-		}
+			return true
+		})
 	}
 	return n
 }
@@ -477,21 +485,21 @@ func (ix *Index) CountNeighbors(q geom.Point, exclude int) int {
 // HasNeighborWhere reports whether some indexed point within the radius of
 // q (excluding exclude) satisfies pred. It short-circuits on the first hit.
 func (ix *Index) HasNeighborWhere(q geom.Point, exclude int, pred func(id int) bool) bool {
-	r := ix.radius
-	r2 := r * r
+	r2 := ix.radius * ix.radius
 	var spans [3]Span
 	nr := ix.BlockSpans(q.X, q.Y, &spans)
 	for ri := 0; ri < nr; ri++ {
 		s := spans[ri]
-		for k, id := range s.IDs {
-			dx := s.XS[k] - q.X
-			if dx > r || dx < -r || int(id) == exclude {
-				continue
+		found := false
+		kernel.VisitHits(s.XS, s.YS, q.X, q.Y, r2, nil, 0, func(k int) bool {
+			if int(s.IDs[k]) != exclude && pred(int(s.IDs[k])) {
+				found = true
+				return false
 			}
-			dy := s.YS[k] - q.Y
-			if dx*dx+dy*dy <= r2 && pred(int(id)) {
-				return true
-			}
+			return true
+		})
+		if found {
+			return true
 		}
 	}
 	return false
