@@ -9,13 +9,13 @@ GO ?= go
 GOTAGS ?=
 TAGFLAG = $(if $(GOTAGS),-tags $(GOTAGS))
 
-.PHONY: ci ci-purego check fmt vet build test test-race bench bench-allocs bench-json bench-compare docs clean clean-check
+.PHONY: ci ci-purego check fmt vet build test test-race test-fault bench bench-allocs bench-json bench-compare docs clean clean-check
 
 # ci is the full local tier-1 gate: the hardware-independent checks plus
-# the timing smoke run and the ns/op regression gate against the
-# committed trajectory file (which self-disables on non-comparable
-# hardware; see bench-compare).
-ci: check bench bench-compare
+# the fault-injection suite, the timing smoke run and the ns/op
+# regression gate against the committed trajectory file (which
+# self-disables on non-comparable hardware; see bench-compare).
+ci: check test-fault bench bench-compare
 
 # ci-purego is the fallback-path leg of the matrix: the same
 # hardware-independent gate with the assembly kernel compiled out.
@@ -51,6 +51,21 @@ test:
 # hide behind deterministic output.
 test-race:
 	$(GO) test $(TAGFLAG) -race ./internal/core ./internal/sim
+
+# FAULTTAGS appends the faultinject tag to the active variant, so the
+# fault suite can run against either kernel build.
+comma = ,
+FAULTTAGS = $(if $(GOTAGS),$(GOTAGS)$(comma)faultinject,faultinject)
+
+# test-fault runs the fault-injection suite: the faultinject build tag
+# compiles the hook registry in (Active = true) and the suite forces
+# trial panics, worker stalls, a mid-sweep kernel downgrade and spatial
+# index rebuild bails against the production sweep runner. The -race leg
+# catches unsynchronized hook firing; the experiments package rides along
+# to prove its crash-safety tests survive with the hooks compiled in.
+test-fault:
+	$(GO) test -tags $(FAULTTAGS) ./internal/faultinject/ ./internal/experiments/
+	$(GO) test -tags $(FAULTTAGS) -race ./internal/faultinject/
 
 # bench runs the micro-benchmarks briefly — a smoke test that the hot loops
 # still run allocation-free, not a measurement.

@@ -4,17 +4,29 @@
 // Usage:
 //
 //	experiments [-quick] [-seed N] [-trials N] [-only E03[,E05,...]]
+//	            [-workers N] [-checkpoint exp.ckpt] [-resume]
 //
 // Full-size runs take minutes; -quick completes in seconds at reduced
 // statistical power.
+//
+// The suite is crash-safe. SIGINT/SIGTERM drains gracefully: in-flight
+// trials finish, the checkpoint journal (if -checkpoint is set) is
+// flushed, and the process exits nonzero with a hint to rerun with
+// -resume — which replays the recorded trials and reproduces the
+// interrupted run's numbers byte-identically.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"manhattanflood/internal/checkpoint"
 	"manhattanflood/internal/experiments"
 )
 
@@ -24,6 +36,9 @@ func main() {
 	trials := flag.Int("trials", 0, "seeds per data point (0 = experiment default)")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	workers := flag.Int("workers", 0, "trial worker goroutines (0 = GOMAXPROCS)")
+	ckptPath := flag.String("checkpoint", "", "checkpoint journal path (enables crash-safe resume)")
+	resume := flag.Bool("resume", false, "replay completed trials from the -checkpoint journal")
 	flag.Parse()
 
 	if *list {
@@ -32,32 +47,79 @@ func main() {
 		}
 		return
 	}
-
-	cfg := experiments.Config{
-		Seed:   *seed,
-		Trials: *trials,
-		Quick:  *quick,
-		Out:    os.Stdout,
+	if *resume && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume requires -checkpoint")
+		os.Exit(2)
 	}
 
-	if *only == "" {
-		if err := experiments.RunAll(cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+	var journal *checkpoint.Journal
+	if *ckptPath != "" {
+		if !*resume {
+			if err := os.Remove(*ckptPath); err != nil && !os.IsNotExist(err) {
+				fmt.Fprintln(os.Stderr, "experiments: clearing old checkpoint:", err)
+				os.Exit(1)
+			}
 		}
-		return
-	}
-	for _, id := range strings.Split(*only, ",") {
-		id = strings.TrimSpace(strings.ToUpper(id))
-		r, err := experiments.ByID(id)
+		var err error
+		journal, err = checkpoint.Open(*ckptPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("\n=== %s — %s ===\n%s\n\n", r.ID, r.Paper, r.Description)
-		if err := r.Run(cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-			os.Exit(1)
+		if *resume && journal.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: resuming: %d trials already recorded in %s\n",
+				journal.Len(), *ckptPath)
 		}
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := experiments.Config{
+		Ctx:     ctx,
+		Journal: journal,
+		Workers: *workers,
+		Seed:    *seed,
+		Trials:  *trials,
+		Quick:   *quick,
+		Out:     os.Stdout,
+	}
+
+	err := run(cfg, *only)
+
+	if journal != nil {
+		if ferr := journal.Flush(); ferr != nil {
+			fmt.Fprintln(os.Stderr, "experiments: flushing checkpoint:", ferr)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		if errors.Is(err, context.Canceled) {
+			if journal != nil {
+				fmt.Fprintf(os.Stderr, "experiments: completed trials are checkpointed in %s; rerun with -resume to continue\n",
+					*ckptPath)
+			} else {
+				fmt.Fprintln(os.Stderr, "experiments: rerun with -checkpoint to make interruptions resumable")
+			}
+		}
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, only string) error {
+	if only == "" {
+		return experiments.RunAll(cfg)
+	}
+	for _, id := range strings.Split(only, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		r, err := experiments.ByID(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n=== %s — %s ===\n%s\n\n", r.ID, r.Paper, r.Description)
+		if err := r.Run(cfg); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return nil
 }

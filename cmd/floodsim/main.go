@@ -12,10 +12,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 
 	manhattan "manhattanflood"
 	"manhattanflood/internal/trace"
@@ -85,7 +89,10 @@ func main() {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	res, err := sim.Flood(manhattan.FloodOptions{
+		Ctx:          ctx,
 		Source:       src,
 		MaxSteps:     *maxSteps,
 		TrackZones:   true,
@@ -93,7 +100,12 @@ func main() {
 		RecordSeries: *series,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "floodsim:", err)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "floodsim: interrupted at step %d: %d/%d informed\n",
+				res.Time, res.Informed, *n)
+		} else {
+			fmt.Fprintln(os.Stderr, "floodsim:", err)
+		}
 		os.Exit(1)
 	}
 	if !res.Completed {

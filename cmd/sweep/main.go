@@ -6,22 +6,33 @@
 //
 //	sweep -param r -values 4,5,6,8,12 [-n 4000] [-v 0.3] [-r 5]
 //	      [-trials 5] [-seed 1] [-max-steps 100000] [-source center]
+//	      [-workers 0] [-checkpoint sweep.ckpt] [-resume]
 //
 // -param selects which axis varies (r, v, or n); the corresponding fixed
 // flag is ignored. Output columns: value, mean T, ci95, CZ time, suburb
 // lag, L/R, second-phase term, completed/trials.
+//
+// The sweep is crash-safe. SIGINT/SIGTERM drains gracefully: in-flight
+// trials finish, the checkpoint journal (if -checkpoint is set) is
+// flushed, completed points are printed, and the process exits nonzero
+// with a hint to rerun with -resume. A resumed sweep replays recorded
+// trials from the journal and produces byte-identical TSV to an
+// uninterrupted run.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
-	manhattan "manhattanflood"
-	"manhattanflood/internal/stats"
+	"manhattanflood/internal/checkpoint"
+	"manhattanflood/internal/experiments"
 )
 
 func main() {
@@ -34,86 +45,100 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base seed")
 	maxSteps := flag.Int("max-steps", 100000, "step budget per run")
 	source := flag.String("source", "center", "source placement: center, corner, random")
+	workers := flag.Int("workers", 0, "trial worker goroutines (0 = GOMAXPROCS)")
+	ckptPath := flag.String("checkpoint", "", "checkpoint journal path (enables crash-safe resume)")
+	resume := flag.Bool("resume", false, "replay completed trials from the -checkpoint journal")
 	flag.Parse()
 
 	if *values == "" {
 		fmt.Fprintln(os.Stderr, "sweep: -values is required")
 		os.Exit(2)
 	}
-	var src manhattan.Source
-	switch *source {
-	case "center":
-		src = manhattan.SourceCenter
-	case "corner":
-		src = manhattan.SourceCorner
-	case "random":
-		src = manhattan.SourceRandom
-	default:
-		fmt.Fprintf(os.Stderr, "sweep: unknown source %q\n", *source)
-		os.Exit(2)
-	}
-
-	fmt.Println("value\tmeanT\tci95\tczTime\tsuburbLag\tL_over_R\tsecondTerm\tcompleted")
+	var vals []float64
 	for _, tok := range strings.Split(*values, ",") {
 		val, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: bad value %q: %v\n", tok, err)
 			os.Exit(2)
 		}
-		cn, cr, cv := *n, *r, *v
-		switch *param {
-		case "r":
-			cr = val
-		case "v":
-			cv = val
-		case "n":
-			cn = int(val)
-		default:
-			fmt.Fprintf(os.Stderr, "sweep: unknown param %q\n", *param)
-			os.Exit(2)
-		}
-		l := math.Sqrt(float64(cn))
-		var ts, czs, lags []float64
-		completed := 0
-		for trial := 0; trial < *trials; trial++ {
-			cfg := manhattan.Config{N: cn, L: l, R: cr, V: cv,
-				Seed: *seed + uint64(trial)*0x9e3779b97f4a7c15}
-			sim, err := manhattan.New(cfg)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "sweep:", err)
+		vals = append(vals, val)
+	}
+	if *resume && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "sweep: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+
+	var journal *checkpoint.Journal
+	if *ckptPath != "" {
+		if !*resume {
+			// A fresh (non-resume) run must not replay a stale journal left
+			// behind by an earlier sweep at the same path.
+			if err := os.Remove(*ckptPath); err != nil && !os.IsNotExist(err) {
+				fmt.Fprintln(os.Stderr, "sweep: clearing old checkpoint:", err)
 				os.Exit(1)
 			}
-			res, err := sim.Flood(manhattan.FloodOptions{
-				Source: src, MaxSteps: *maxSteps, TrackZones: true,
-			})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "sweep:", err)
-				os.Exit(1)
-			}
-			if !res.Completed {
-				continue
-			}
-			completed++
-			ts = append(ts, float64(res.Time))
-			if res.CZTime >= 0 {
-				czs = append(czs, float64(res.CZTime))
-			}
-			if res.SuburbLag >= 0 {
-				lags = append(lags, float64(res.SuburbLag))
-			}
 		}
-		var sT, sCZ, sLag stats.Summary
-		if len(ts) > 0 {
-			sT, _ = stats.Summarize(ts)
+		var err error
+		journal, err = checkpoint.Open(*ckptPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
 		}
-		if len(czs) > 0 {
-			sCZ, _ = stats.Summarize(czs)
+		if *resume && journal.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: resuming: %d trials already recorded in %s\n",
+				journal.Len(), *ckptPath)
 		}
-		if len(lags) > 0 {
-			sLag, _ = stats.Summarize(lags)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := experiments.Config{Ctx: ctx, Journal: journal, Workers: *workers}
+	spec := experiments.SweepSpec{
+		Param: *param, Values: vals,
+		N: *n, R: *r, V: *v,
+		Trials: *trials, MaxSteps: *maxSteps,
+		Seed: *seed, Source: *source,
+	}
+	res, runErr := experiments.RunSweep(cfg, spec)
+
+	// Whatever happened, persist the journal first: the recorded trials
+	// are what makes -resume cheap.
+	if journal != nil {
+		if err := journal.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep: flushing checkpoint:", err)
 		}
-		secondTerm := l * l * l * math.Log(float64(cn)) / (cr * cr * float64(cn) * cv)
+	}
+
+	fmt.Println("value\tmeanT\tci95\tczTime\tsuburbLag\tL_over_R\tsecondTerm\tcompleted")
+	failed := 0
+	for _, p := range res.Points {
+		if p.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "sweep: point value=%g failed: %v\n", p.Value, p.Err)
+			continue
+		}
 		fmt.Printf("%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%d/%d\n",
-			val, sT.Mean, sT.CI95, sCZ.Mean, sLag.Mean, l/cr, secondTerm, completed, *trials)
+			p.Value, p.MeanT, p.CI95, p.CZTime, p.SuburbLag, p.LOverR,
+			p.SecondTerm, p.Completed, p.Trials)
+	}
+
+	switch {
+	case runErr != nil && errors.Is(runErr, context.Canceled):
+		fmt.Fprintf(os.Stderr, "sweep: interrupted: %d of %d points completed\n",
+			len(res.Points), len(vals))
+		if journal != nil {
+			fmt.Fprintf(os.Stderr, "sweep: completed trials are checkpointed in %s; rerun with -resume to continue\n",
+				*ckptPath)
+		} else {
+			fmt.Fprintln(os.Stderr, "sweep: rerun with -checkpoint to make interruptions resumable")
+		}
+		os.Exit(1)
+	case runErr != nil:
+		fmt.Fprintln(os.Stderr, "sweep:", runErr)
+		os.Exit(1)
+	case failed > 0:
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d points failed\n", failed, len(vals))
+		os.Exit(1)
 	}
 }

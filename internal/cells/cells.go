@@ -13,6 +13,7 @@ import (
 
 	"manhattanflood/internal/dist"
 	"manhattanflood/internal/geom"
+	"manhattanflood/internal/panicsafe"
 )
 
 // Sqrt5 is used by the paper's cell-side inequality R/(1+sqrt5) <= l <=
@@ -322,7 +323,9 @@ func (p *Partition) CountPerCell(pts []geom.Point) []int {
 // is element-wise identical to CountPerCell on the same points.
 func (p *Partition) CountPerCellXY(xs, ys []float64, counts []int) []int {
 	if len(xs) != len(ys) {
-		panic(fmt.Sprintf("cells: coordinate slices disagree: len(xs)=%d len(ys)=%d", len(xs), len(ys)))
+		// Programmer-error panic: never recovered into a silent fallback
+		// (see panicsafe's package comment).
+		panic(panicsafe.Invariant("cells", "coordinate slices disagree: len(xs)=%d len(ys)=%d", len(xs), len(ys)))
 	}
 	counts = p.resetCounts(counts)
 	for i := range xs {
@@ -339,7 +342,7 @@ func (p *Partition) CountPerCellXY(xs, ys []float64, counts []int) []int {
 // measurement (E12) snapshot- and allocation-free.
 func (p *Partition) CoreOccupancyCZXY(xs, ys []float64, counts []int) []int {
 	if len(xs) != len(ys) {
-		panic(fmt.Sprintf("cells: coordinate slices disagree: len(xs)=%d len(ys)=%d", len(xs), len(ys)))
+		panic(panicsafe.Invariant("cells", "coordinate slices disagree: len(xs)=%d len(ys)=%d", len(xs), len(ys)))
 	}
 	counts = p.resetCounts(counts)
 	for i := range xs {

@@ -1,0 +1,261 @@
+// Package checkpoint makes long sweeps resumable: a Journal durably
+// records every completed (experiment, point, trial, seed) unit together
+// with its trial outcome, so an interrupted sweep can be restarted with
+// the recorded units skipped and their recorded outcomes replayed into the
+// aggregation. Because trials are independently seeded, a resumed sweep is
+// byte-identical to an uninterrupted one — the journal stores exactly the
+// integer fields the aggregation consumes, and integers round-trip JSON
+// exactly.
+//
+// Durability discipline: the journal lives in memory and is persisted by
+// Flush, which writes the complete journal to a temporary file in the
+// destination directory and renames it into place. The rename is atomic on
+// POSIX filesystems, so a crash mid-flush leaves the previous journal
+// intact — readers observe either the old complete journal or the new
+// complete journal, never a torn one. Callers flush at point granularity
+// (after each sweep point) and on graceful shutdown; at worst one point's
+// trials are re-run after a hard kill.
+//
+// File format (versioned, line-oriented JSON): the first line is a header
+// object {"schema":"manhattanflood/checkpoint/v1"}; every following line
+// is one Entry. Line-oriented JSON keeps the journal greppable and
+// append-diffable in review, while the whole-file rewrite keeps the
+// atomicity story trivial (journals are thousands of lines at most —
+// rewrite cost is noise next to one simulation trial).
+package checkpoint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// schema identifies the journal file format.
+const schema = "manhattanflood/checkpoint/v1"
+
+// Unit identifies one trial of one sweep point. Two units are the same
+// work if and only if all fields match; Spec exists to fingerprint the
+// parameters that the other fields do not capture (problem size, radius,
+// speed, step budget, source placement), so a quick-mode journal can never
+// satisfy a full-size resume. Worker counts are deliberately NOT part of
+// the identity: results are bit-identical across worker counts by the
+// runtime's determinism contract, so a sweep may be resumed with a
+// different -workers setting.
+type Unit struct {
+	// Experiment is the experiment or sweep identifier, e.g. "E03" or
+	// "sweep/r".
+	Experiment string `json:"experiment"`
+	// Point is the index of the parameter point within the experiment's
+	// sweep (each floodTrials call site in an experiment uses a distinct
+	// point index).
+	Point int `json:"point"`
+	// Trial is the trial index within the point.
+	Trial int `json:"trial"`
+	// Seed is the trial's derived world seed.
+	Seed uint64 `json:"seed"`
+	// Spec fingerprints the remaining run parameters (see type comment).
+	Spec string `json:"spec,omitempty"`
+}
+
+// Result is the durable trial outcome — the exact fields the sweep
+// aggregation consumes, all integers (or bools), so replaying a recorded
+// outcome reproduces the aggregate bit for bit.
+type Result struct {
+	// Completed reports whether the flood finished within its budget.
+	Completed bool `json:"completed"`
+	// Time is the flooding time in steps (or the exhausted budget).
+	Time int `json:"time"`
+	// CZTime is the Central Zone completion step (-1 when untracked).
+	CZTime int `json:"cz_time"`
+	// SuburbLag is Time - CZTime (-1 when unknown).
+	SuburbLag int `json:"suburb_lag"`
+	// Informed is the final informed-agent count.
+	Informed int `json:"informed"`
+	// N is the population size.
+	N int `json:"n"`
+}
+
+// Entry is one journal line: a completed unit and its outcome.
+type Entry struct {
+	Unit
+	Result Result `json:"result"`
+}
+
+// Journal is a concurrency-safe set of completed units. The zero value is
+// not usable; construct with New (in-memory only) or Open (backed by a
+// file).
+type Journal struct {
+	mu      sync.Mutex
+	path    string // empty for in-memory journals
+	entries []Entry
+	index   map[Unit]int
+}
+
+// New returns an in-memory journal (no backing file; Flush is a no-op).
+// Tests and one-shot runs use it to exercise resume logic without disk.
+func New() *Journal {
+	return &Journal{index: make(map[Unit]int)}
+}
+
+// Open loads the journal at path, creating an empty one (in memory — the
+// file appears at first Flush) when the file does not exist yet. A
+// malformed journal is an error, never silently truncated: the caller
+// should delete or move the file explicitly rather than lose checkpointed
+// work to a quiet reset.
+func Open(path string) (*Journal, error) {
+	j := New()
+	j.path = path
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return j, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading journal: %w", err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		lineNo++
+		if len(line) == 0 {
+			continue
+		}
+		if lineNo == 1 {
+			var hdr struct {
+				Schema string `json:"schema"`
+			}
+			if err := json.Unmarshal(line, &hdr); err != nil || hdr.Schema != schema {
+				return nil, fmt.Errorf("checkpoint: %s is not a %s journal", path, schema)
+			}
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("checkpoint: %s line %d: %w", path, lineNo, err)
+		}
+		j.record(e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("checkpoint: scanning %s: %w", path, err)
+	}
+	return j, nil
+}
+
+// Path returns the backing file path ("" for in-memory journals).
+func (j *Journal) Path() string { return j.path }
+
+// Len returns the number of recorded units.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Lookup returns the recorded outcome for u, if any.
+func (j *Journal) Lookup(u Unit) (Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	i, ok := j.index[u]
+	if !ok {
+		return Result{}, false
+	}
+	return j.entries[i].Result, true
+}
+
+// Record adds a completed unit to the journal (in memory; call Flush to
+// persist). Re-recording an already-present unit overwrites its outcome —
+// outcomes are deterministic per unit, so this only matters for journals
+// shared across incompatible code versions, where last-write-wins is as
+// good a rule as any.
+func (j *Journal) Record(u Unit, r Result) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.record(Entry{Unit: u, Result: r})
+}
+
+func (j *Journal) record(e Entry) {
+	if i, ok := j.index[e.Unit]; ok {
+		j.entries[i] = e
+		return
+	}
+	j.index[e.Unit] = len(j.entries)
+	j.entries = append(j.entries, e)
+}
+
+// Entries returns a copy of the journal's entries in deterministic
+// (experiment, point, trial, seed, spec) order, regardless of the order
+// trials completed in — journal files diff cleanly between runs.
+func (j *Journal) Entries() []Entry {
+	j.mu.Lock()
+	out := append([]Entry(nil), j.entries...)
+	j.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		ua, ub := out[a].Unit, out[b].Unit
+		if ua.Experiment != ub.Experiment {
+			return ua.Experiment < ub.Experiment
+		}
+		if ua.Point != ub.Point {
+			return ua.Point < ub.Point
+		}
+		if ua.Trial != ub.Trial {
+			return ua.Trial < ub.Trial
+		}
+		if ua.Seed != ub.Seed {
+			return ua.Seed < ub.Seed
+		}
+		return ua.Spec < ub.Spec
+	})
+	return out
+}
+
+// Flush persists the journal: the complete contents are written to a
+// temporary file next to the destination and renamed into place, so a
+// crash mid-write can never corrupt an existing journal. No-op for
+// in-memory journals.
+func (j *Journal) Flush() error {
+	if j.path == "" {
+		return nil
+	}
+	entries := j.Entries()
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: creating temp journal: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	if _, err := fmt.Fprintf(w, "{\"schema\":%q}\n", schema); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: writing journal: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			tmp.Close()
+			return fmt.Errorf("checkpoint: writing journal: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: writing journal: %w", err)
+	}
+	// Sync before the rename: the rename must never become visible ahead
+	// of the data it points at.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: syncing journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: closing journal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("checkpoint: publishing journal: %w", err)
+	}
+	return nil
+}

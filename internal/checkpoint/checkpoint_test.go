@@ -1,0 +1,175 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func unit(exp string, point, trial int) Unit {
+	return Unit{Experiment: exp, Point: point, Trial: trial,
+		Seed: uint64(trial) * 7, Spec: "n=800"}
+}
+
+func TestRecordLookupRoundTrip(t *testing.T) {
+	j := New()
+	u := unit("E03", 1, 2)
+	if _, ok := j.Lookup(u); ok {
+		t.Fatal("empty journal claims a unit")
+	}
+	want := Result{Completed: true, Time: 123, CZTime: 40, SuburbLag: 83, Informed: 800, N: 800}
+	j.Record(u, want)
+	got, ok := j.Lookup(u)
+	if !ok || got != want {
+		t.Fatalf("Lookup = %+v, %v; want %+v", got, ok, want)
+	}
+	// A unit differing only in Spec is different work.
+	other := u
+	other.Spec = "n=4000"
+	if _, ok := j.Lookup(other); ok {
+		t.Error("spec mismatch must miss")
+	}
+	if j.Len() != 1 {
+		t.Errorf("Len = %d", j.Len())
+	}
+}
+
+func TestFlushAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Result{Completed: true, Time: 10, CZTime: -1, SuburbLag: -1, Informed: 5, N: 5}
+	// Record out of order; the file must come out sorted.
+	j.Record(unit("E04", 0, 1), res)
+	j.Record(unit("E03", 0, 0), res)
+	j.Record(unit("E03", 0, 1), Result{Completed: false, Time: 99, CZTime: -1, SuburbLag: -1, Informed: 3, N: 5})
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 3 {
+		t.Fatalf("reloaded %d entries, want 3", re.Len())
+	}
+	got, ok := re.Lookup(unit("E03", 0, 1))
+	if !ok || got.Time != 99 || got.Completed {
+		t.Fatalf("reloaded entry = %+v, %v", got, ok)
+	}
+	entries := re.Entries()
+	if entries[0].Experiment != "E03" || entries[0].Trial != 0 ||
+		entries[2].Experiment != "E04" {
+		t.Errorf("entries not in deterministic order: %+v", entries)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), `{"schema":"manhattanflood/checkpoint/v1"}`) {
+		t.Errorf("missing schema header: %q", string(data)[:60])
+	}
+}
+
+func TestFlushIsAtomicReplacement(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record(unit("E03", 0, 0), Result{Completed: true, Time: 1})
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	j.Record(unit("E03", 0, 1), Result{Completed: true, Time: 2})
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// No temp droppings survive a successful flush.
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("temp files left behind: %v", matches)
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Errorf("second flush lost entries: %d", re.Len())
+	}
+}
+
+func TestOpenMissingFileIsEmpty(t *testing.T) {
+	j, err := Open(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 {
+		t.Errorf("Len = %d", j.Len())
+	}
+	// In-memory journal Flush is a no-op.
+	if err := New().Flush(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpenRejectsCorruptJournal(t *testing.T) {
+	dir := t.TempDir()
+	badHeader := filepath.Join(dir, "bad_header.jsonl")
+	if err := os.WriteFile(badHeader, []byte("{\"schema\":\"something/else\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(badHeader); err == nil {
+		t.Error("foreign schema accepted")
+	}
+
+	badLine := filepath.Join(dir, "bad_line.jsonl")
+	content := "{\"schema\":\"manhattanflood/checkpoint/v1\"}\n{not json\n"
+	if err := os.WriteFile(badLine, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(badLine); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("corrupt line error = %v, want line number", err)
+	}
+}
+
+func TestRerecordOverwrites(t *testing.T) {
+	j := New()
+	u := unit("E03", 0, 0)
+	j.Record(u, Result{Time: 1})
+	j.Record(u, Result{Time: 2})
+	if j.Len() != 1 {
+		t.Fatalf("Len = %d", j.Len())
+	}
+	if got, _ := j.Lookup(u); got.Time != 2 {
+		t.Errorf("Time = %d, want last write", got.Time)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	j := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				j.Record(unit("E03", w, i), Result{Time: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if j.Len() != 800 {
+		t.Errorf("Len = %d, want 800", j.Len())
+	}
+}

@@ -68,6 +68,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -76,6 +77,7 @@ import (
 	"manhattanflood/internal/cells"
 	"manhattanflood/internal/geom"
 	"manhattanflood/internal/kernel"
+	"manhattanflood/internal/panicsafe"
 	"manhattanflood/internal/sim"
 	"manhattanflood/internal/spatialindex"
 )
@@ -108,8 +110,15 @@ type Flooding struct {
 	fresh     []int32
 	sweepSkip []bool
 	skipSeed  []bool // scratch: change marks + fresh-informed buckets, then the dilated mask
-	skipTmp   []bool // scratch: horizontal dilation pass
-	lastTime  int
+
+	// catch forwards panics out of the sharded sweep/chaining workers onto
+	// the stepping goroutine, where the trial runner's recover can turn
+	// them into structured per-trial errors instead of a process crash. A
+	// field (not a per-call local) so the parallel paths stay
+	// allocation-free in the steady state.
+	catch    panicsafe.Catcher
+	skipTmp  []bool // scratch: horizontal dilation pass
+	lastTime int
 }
 
 // FloodOption customizes a Flooding run.
@@ -562,10 +571,12 @@ func (f *Flooding) sweepParallel(ix *spatialindex.Index, workers int) {
 		wg.Add(1)
 		go func(sh, lo, hi int) {
 			defer wg.Done()
+			defer f.catch.Recover(sh)
 			f.shards[sh] = f.sweep(ix, lo, hi, f.shards[sh][:0])
 		}(sh, start, end)
 	}
 	wg.Wait()
+	f.catch.Rethrow()
 	for s := 0; s < nsh; s++ {
 		f.newlyInformed = append(f.newlyInformed, f.shards[s]...)
 	}
@@ -714,10 +725,12 @@ func (f *Flooding) chainClosureParallel(ix *spatialindex.Index, workers int) int
 				wg.Add(1)
 				go func(sh, lo, hi int) {
 					defer wg.Done()
+					defer f.catch.Recover(sh)
 					f.shards[sh] = f.chainScan(ix, level[lo:hi], f.shards[sh][:0])
 				}(sh, start, end)
 			}
 			wg.Wait()
+			f.catch.Rethrow()
 			for s := 0; s < nsh; s++ {
 				for _, k := range f.shards[s] {
 					mark(k)
@@ -787,11 +800,28 @@ type Result struct {
 // Run steps the flooding process until every agent is informed or maxSteps
 // steps have elapsed.
 func (f *Flooding) Run(maxSteps int) (Result, error) {
+	return f.RunContext(nil, maxSteps)
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// once per flooding step — between steps, never inside the zero-allocation
+// sweep loops — and on cancellation the partial Result (Completed false,
+// informed count so far) is returned together with the context's error.
+// The flooding state is left consistent, so the run can even be continued
+// with another RunContext call. A nil context never cancels (Run).
+func (f *Flooding) RunContext(ctx context.Context, maxSteps int) (Result, error) {
 	if maxSteps < 0 {
 		return Result{}, fmt.Errorf("core: negative step budget %d", maxSteps)
 	}
+	var err error
 	deadline := f.w.Time() + maxSteps
 	for !f.Done() && f.w.Time() < deadline {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				err = cerr
+				break
+			}
+		}
 		f.Step()
 	}
 	res := Result{
@@ -805,7 +835,7 @@ func (f *Flooding) Run(maxSteps int) (Result, error) {
 	if res.Completed && f.czTime >= 0 {
 		res.SuburbLag = res.Time - f.czTime
 	}
-	return res, nil
+	return res, err
 }
 
 // SourcePair returns two deterministic source choices in w: the agent

@@ -41,6 +41,9 @@ func E01SpatialDensity(cfg Config) (E01Result, error) {
 	if err != nil {
 		return E01Result{}, err
 	}
+	if err := cfg.canceled(); err != nil {
+		return E01Result{}, err
+	}
 	for s := 0; s < steps; s++ {
 		xs, ys := w.X(), w.Y()
 		for i := range xs {

@@ -49,6 +49,9 @@ func E02DestinationLaw(cfg Config) (E02Result, error) {
 		ArmMeasured:  map[dist.Arm]float64{},
 		ArmPaper:     map[dist.Arm]float64{},
 	}
+	if err := cfg.canceled(); err != nil {
+		return res, err
+	}
 	var cross int
 	quadCount := map[dist.Quadrant]int{}
 	for i := 0; i < maxTrips && res.Hits < targetHits; i++ {
@@ -87,6 +90,9 @@ func E02DestinationLaw(cfg Config) (E02Result, error) {
 	// the phi formulas (Eqs. 4-5) against direct Monte-Carlo of the same
 	// sampler as a published-number regression.
 	armSamples := pick(cfg, 200000, 20000)
+	if err := cfg.canceled(); err != nil {
+		return res, err
+	}
 	armCount := map[dist.Arm]int{}
 	for i := 0; i < armSamples; i++ {
 		dst, onCross := dl.Sample(rng)

@@ -49,8 +49,8 @@ func E03FloodVsR(cfg Config) (E03Result, error) {
 
 	res := E03Result{N: n, L: l, V: v}
 	var x1, x2, y []float64
-	for _, r := range radii {
-		point, err := floodTrials(
+	for i, r := range radii {
+		point, err := floodTrials(cfg, "E03", i,
 			sim.Params{N: n, L: l, R: r, V: v, Seed: cfg.Seed ^ 0xe03},
 			nil, trials, maxSteps, sourceCentral, false)
 		if err != nil {

@@ -51,8 +51,8 @@ func E04FloodVsV(cfg Config) (E04Result, error) {
 	res := E04Result{N: n, L: l, R: r}
 	res.STheta = l * l * l * logf(n) / (r * r * float64(n))
 	var invVs, ys []float64
-	for _, v := range speeds {
-		point, err := floodTrials(
+	for i, v := range speeds {
+		point, err := floodTrials(cfg, "E04", i,
 			sim.Params{N: n, L: l, R: r, V: v, Seed: cfg.Seed ^ 0xe04},
 			nil, trials, maxSteps, sourceCentral, false)
 		if err != nil {

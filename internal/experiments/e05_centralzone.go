@@ -41,8 +41,8 @@ func E05CentralZone(cfg Config) (E05Result, error) {
 	maxSteps := pick(cfg, 60000, 20000)
 
 	res := E05Result{N: n, L: l, V: v, AllWithinBound: true}
-	for _, r := range radii {
-		point, err := floodTrials(
+	for i, r := range radii {
+		point, err := floodTrials(cfg, "E05", i,
 			sim.Params{N: n, L: l, R: r, V: v, Seed: cfg.Seed ^ 0xe05},
 			nil, trials, maxSteps, sourceCentral, true)
 		if err != nil {

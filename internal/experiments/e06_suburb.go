@@ -36,6 +36,9 @@ func E06SuburbDiameter(cfg Config) (E06Result, error) {
 	res := E06Result{AllBounded: true}
 	var xs, ys []float64
 	for _, n := range ns {
+		if err := cfg.canceled(); err != nil {
+			return res, err
+		}
 		l := math.Sqrt(float64(n))
 		// Keep R at a fixed multiple of the L*sqrt(log n / n) scale, chosen
 		// so that both the Central Zone and the Suburb are non-empty at

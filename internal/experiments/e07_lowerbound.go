@@ -78,6 +78,9 @@ func E07LowerBound(cfg Config) (E07Result, error) {
 	var isoSum, tSum float64
 	var tCount, eventB, above int
 	for trial := 0; trial < trials; trial++ {
+		if err := cfg.canceled(); err != nil {
+			return res, err
+		}
 		p := sim.Params{N: n, L: l, R: r, V: v,
 			Seed: cfg.Seed ^ 0xe07 + uint64(trial)*0x9e3779b97f4a7c15}
 		w, err := sim.NewWorld(p, nil)

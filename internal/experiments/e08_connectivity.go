@@ -51,6 +51,9 @@ func E08Connectivity(cfg Config) (E08Result, error) {
 		MRWPThreshold:    theory.MRWPConnectivityThreshold(n, l),
 	}
 	for _, r := range radii {
+		if err := cfg.canceled(); err != nil {
+			return res, err
+		}
 		part, err := cells.NewPartition(l, r, n)
 		if err != nil {
 			return res, err

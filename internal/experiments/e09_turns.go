@@ -52,6 +52,9 @@ func E09Turns(cfg Config) (E09Result, error) {
 	// turnsAt[a][t] = cumulative turns of agent a after t steps.
 	turnsAt := make([][]int64, agents)
 	for a := 0; a < agents; a++ {
+		if err := cfg.canceled(); err != nil {
+			return E09Result{}, err
+		}
 		rng := rand.New(rand.NewPCG(cfg.Seed^0xe09, uint64(a)))
 		ag := m.NewMRWPAgent(rng)
 		turnsAt[a] = make([]int64, horizon+1)
@@ -64,6 +67,9 @@ func E09Turns(cfg Config) (E09Result, error) {
 	tp := theory.Params{N: n, L: l, R: 1, V: v} // R unused by TurnBound
 	res := E09Result{N: n, L: l, V: v, Agents: agents, AllOK: true}
 	for _, tau := range taus {
+		if err := cfg.canceled(); err != nil {
+			return res, err
+		}
 		win := int(tau)
 		if win >= horizon {
 			continue

@@ -74,6 +74,9 @@ func E10Expansion(cfg Config) (E10Result, error) {
 
 	// Family 1: random subsets of varying density.
 	for i := 0; i < sets/2; i++ {
+		if err := cfg.canceled(); err != nil {
+			return res, err
+		}
 		density := rng.Float64()
 		b := make(cells.CellSet)
 		for _, c := range cz {
@@ -86,6 +89,9 @@ func E10Expansion(cfg Config) (E10Result, error) {
 	// Family 2: grown connected blobs (the worst case for expansion is
 	// typically a compact region).
 	for i := 0; i < sets/2; i++ {
+		if err := cfg.canceled(); err != nil {
+			return res, err
+		}
 		start := cz[rng.IntN(len(cz))]
 		target := 1 + rng.IntN(len(cz)-1)
 		b := make(cells.CellSet)

@@ -43,11 +43,13 @@ func E11SuburbLag(cfg Config) (E11Result, error) {
 
 	res := E11Result{N: n, L: l}
 	var lags, svs []float64
+	pointIdx := 0
 	for _, r := range radii {
 		for _, v := range speeds {
-			point, err := floodTrials(
+			point, err := floodTrials(cfg, "E11", pointIdx,
 				sim.Params{N: n, L: l, R: r, V: v, Seed: cfg.Seed ^ 0xe11},
 				nil, trials, maxSteps, sourceCentral, true)
+			pointIdx++
 			if err != nil {
 				return res, err
 			}

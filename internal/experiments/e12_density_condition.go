@@ -69,6 +69,9 @@ func E12DensityCondition(cfg Config) (E12Result, error) {
 		trackers = append(trackers, &tracker{part: part, minCore: math.MaxInt})
 	}
 
+	if err := cfg.canceled(); err != nil {
+		return res, err
+	}
 	for s := 0; s <= steps; s++ {
 		for _, tr := range trackers {
 			if tr.part.CentralCount() == 0 {

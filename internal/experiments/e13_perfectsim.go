@@ -75,12 +75,16 @@ func E13PerfectSim(cfg Config) (E13Result, error) {
 	fl := 54.77 // sqrt(3000)
 	trials := cfg.trials(5, 2)
 	maxSteps := pick(cfg, 60000, 20000)
-	pStat, err := floodTrials(sim.Params{N: fn, L: fl, R: 5, V: 0.3, Seed: cfg.Seed ^ 0x13f},
+	// Points 0 and 1 distinguish the stationary and cold starts in the
+	// checkpoint journal: both run identical parameters and seeds, only
+	// the init law differs, so the point index is what keeps their
+	// recorded trials apart.
+	pStat, err := floodTrials(cfg, "E13", 0, sim.Params{N: fn, L: fl, R: 5, V: 0.3, Seed: cfg.Seed ^ 0x13f},
 		sim.MRWPFactory(), trials, maxSteps, sourceCentral, false)
 	if err != nil {
 		return res, err
 	}
-	pCold, err := floodTrials(sim.Params{N: fn, L: fl, R: 5, V: 0.3, Seed: cfg.Seed ^ 0x13f},
+	pCold, err := floodTrials(cfg, "E13", 1, sim.Params{N: fn, L: fl, R: 5, V: 0.3, Seed: cfg.Seed ^ 0x13f},
 		sim.MRWPFactory(mobility.WithInit(mobility.InitUniform)), trials, maxSteps, sourceCentral, false)
 	if err != nil {
 		return res, err

@@ -46,8 +46,8 @@ func E14Models(cfg Config) (E14Result, error) {
 		{"random-walk", sim.RandomWalkFactory()},
 		{"random-direction", sim.RandomDirectionFactory()},
 	}
-	for _, f := range factories {
-		point, err := floodTrials(
+	for i, f := range factories {
+		point, err := floodTrials(cfg, "E14", i,
 			sim.Params{N: n, L: l, R: r, V: v, Seed: cfg.Seed ^ 0xe14},
 			f.factory, trials, maxSteps, sourceFirst, false)
 		if err != nil {

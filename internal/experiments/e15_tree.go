@@ -47,6 +47,9 @@ func E15InfectionTree(cfg Config) (E15Result, error) {
 		p := E15Point{R: r, LOverR: l / r, Trials: trials}
 		var depths, fracs, delays []float64
 		for trial := 0; trial < trials; trial++ {
+			if err := cfg.canceled(); err != nil {
+				return res, err
+			}
 			wp := sim.Params{N: n, L: l, R: r, V: v,
 				Seed: cfg.Seed ^ 0xe15 + uint64(trial)*0x9e3779b97f4a7c15}
 			w, err := sim.NewWorld(wp, nil)

@@ -49,6 +49,9 @@ func E16Meetings(cfg Config) (E16Result, error) {
 	if err != nil {
 		return E16Result{}, err
 	}
+	if err := cfg.canceled(); err != nil {
+		return E16Result{}, err
+	}
 	rep, err := core.MeasureMeetings(w, part, maxSteps)
 	if err != nil {
 		return E16Result{}, err

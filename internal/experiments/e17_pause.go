@@ -60,12 +60,12 @@ func E17PauseAblation(cfg Config) (E17Result, error) {
 
 	res := E17Result{N: n, L: l, R: r, V: v}
 	meanTrip := (2 * l / 3) / v
-	for _, pmax := range pauses {
+	for i, pmax := range pauses {
 		factory := sim.MRWPFactory()
 		if pmax > 0 {
 			factory = sim.PausedMRWPFactory(pmax)
 		}
-		point, err := floodTrials(
+		point, err := floodTrials(cfg, "E17", i,
 			sim.Params{N: n, L: l, R: r, V: v, Seed: seed},
 			factory, trials, maxSteps, sourceCentral, false)
 		if err != nil {

@@ -60,6 +60,9 @@ func E18SnapshotDependence(cfg Config) (E18Result, error) {
 	}
 
 	for _, v := range speeds {
+		if err := cfg.canceled(); err != nil {
+			return res, err
+		}
 		w, err := sim.NewWorld(sim.Params{N: n, L: l, R: r, V: v, Seed: cfg.Seed ^ 0xe18}, nil)
 		if err != nil {
 			return res, err

@@ -7,7 +7,9 @@ import (
 	"sync"
 
 	"manhattanflood/internal/cells"
+	"manhattanflood/internal/checkpoint"
 	"manhattanflood/internal/core"
+	"manhattanflood/internal/faultinject"
 	"manhattanflood/internal/sim"
 	"manhattanflood/internal/stats"
 )
@@ -32,10 +34,32 @@ const (
 )
 
 // floodTrials runs `trials` independently seeded flooding runs at the
-// given parameters — fanned out over GOMAXPROCS-many goroutines, since
-// trials share nothing — and aggregates the results. When withPartition is
-// set, the Central Zone completion time and Suburb lag are tracked too.
-// Output is deterministic: per-trial results are keyed by trial index.
+// given parameters — fanned out over cfg.Workers (default GOMAXPROCS)
+// goroutines, since trials share nothing — and aggregates the results.
+// When withPartition is set, the Central Zone completion time and Suburb
+// lag are tracked too. Output is deterministic: per-trial results are
+// keyed by trial index.
+//
+// exp and point identify this call for crash-safety purposes: they name
+// the sweep point in recovered panic reports and key the checkpoint
+// journal. Every floodTrials call site within an experiment must use a
+// distinct point index.
+//
+// Crash-safety contract (all three paths leave the zero-allocation inner
+// loops untouched — per-trial granularity only):
+//
+//   - Cancellation: cfg.Ctx is consulted before dispatching each trial.
+//     Once canceled, in-flight trials finish and are recorded; pending
+//     ones are abandoned and the point returns the context's error.
+//   - Panic isolation: a panic inside a trial (including panics forwarded
+//     from the sharded sweep/chaining/stepping workers by panicsafe) is
+//     recovered into a *PanicError carrying experiment/point/trial/seed/
+//     shard; the point fails with that diagnosable report, the process
+//     survives, and sibling trials complete normally.
+//   - Checkpoint/resume: with cfg.Journal set, completed trials are
+//     recorded and already-recorded trials are replayed instead of re-run.
+//     Trials are independently seeded, so the resumed aggregate is
+//     byte-identical to an uninterrupted run.
 //
 // Each worker pools one World and one Flooding across its trials: the
 // first trial constructs them, every following trial re-seeds the pair via
@@ -43,27 +67,43 @@ const (
 // constructing fresh ones (property-tested in the core suite) and removes
 // every per-trial allocation. Pooling is what lets the big sweeps (E03,
 // E04, E11) stop paying world-construction cost per Monte-Carlo trial.
-func floodTrials(p sim.Params, factory sim.ModelFactory, trials, maxSteps int,
-	src sourceKind, withPartition bool) (floodPoint, error) {
-	return floodTrialsOpt(p, factory, trials, maxSteps, src, withPartition, true)
+// After a recovered panic the worker's pooled pair is discarded — its
+// state is untrustworthy — and rebuilt fresh for the next trial.
+func floodTrials(cfg Config, exp string, point int, p sim.Params, factory sim.ModelFactory,
+	trials, maxSteps int, src sourceKind, withPartition bool) (floodPoint, error) {
+	return floodTrialsOpt(cfg, exp, point, p, factory, trials, maxSteps, src, withPartition, true)
 }
 
 // floodTrialsOpt is floodTrials with pooling switchable, so the benchmark
 // harness can measure the unpooled baseline through the identical fan-out.
-func floodTrialsOpt(p sim.Params, factory sim.ModelFactory, trials, maxSteps int,
-	src sourceKind, withPartition, pooled bool) (floodPoint, error) {
-	point := floodPoint{Trials: trials}
+func floodTrialsOpt(cfg Config, exp string, point int, p sim.Params, factory sim.ModelFactory,
+	trials, maxSteps int, src sourceKind, withPartition, pooled bool) (floodPoint, error) {
+	agg := floodPoint{Trials: trials}
 	var part *cells.Partition
 	if withPartition {
 		var err error
 		part, err = cells.NewPartition(p.L, p.R, p.N)
 		if err != nil {
-			return point, fmt.Errorf("building partition: %w", err)
+			return agg, fmt.Errorf("building partition: %w", err)
+		}
+	}
+
+	// Resume: map trials onto journal units (only when a journal is
+	// attached — the happy path allocates nothing extra).
+	var unitOf func(trial int) checkpoint.Unit
+	if cfg.Journal != nil {
+		spec := trialSpec(p, maxSteps, src, withPartition)
+		unitOf = func(trial int) checkpoint.Unit {
+			return checkpoint.Unit{Experiment: exp, Point: point, Trial: trial,
+				Seed: trialSeed(p.Seed, trial), Spec: spec}
 		}
 	}
 
 	outcomes := make([]trialOutcome, trials)
-	workers := runtime.GOMAXPROCS(0)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > trials {
 		workers = trials
 	}
@@ -71,32 +111,63 @@ func floodTrialsOpt(p sim.Params, factory sim.ModelFactory, trials, maxSteps int
 	next := make(chan int)
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
-		go func() {
+		go func(shard int) {
 			defer wg.Done()
 			var pool trialPool
 			for trial := range next {
 				if !pooled {
 					pool = trialPool{}
 				}
-				outcomes[trial] = pool.run(p, factory, part, trial, maxSteps, src)
+				o := pool.runIsolated(exp, point, shard, p, factory, part, trial, maxSteps, src)
+				outcomes[trial] = o
+				if o.err == nil && unitOf != nil {
+					cfg.Journal.Record(unitOf(trial), checkpointResult(o.res))
+				}
+				if cfg.afterTrial != nil {
+					cfg.afterTrial()
+				}
 			}
-		}()
+		}(wk)
 	}
+	abandoned := 0
 	for trial := 0; trial < trials; trial++ {
+		if unitOf != nil {
+			if rec, ok := cfg.Journal.Lookup(unitOf(trial)); ok {
+				outcomes[trial] = trialOutcome{res: resultFromCheckpoint(rec)}
+				continue
+			}
+		}
+		// Graceful drain: once the context is canceled no further trial is
+		// dispatched (the ones already handed to workers run to completion
+		// and are recorded); the remaining ones are abandoned.
+		if err := cfg.canceled(); err != nil {
+			outcomes[trial] = trialOutcome{err: err, abandoned: true}
+			abandoned++
+			continue
+		}
 		next <- trial
 	}
 	close(next)
 	wg.Wait()
 
+	// A real trial failure (panic or construction error) outranks
+	// cancellation in the report: it names the poisoned trial.
+	for trial := range outcomes {
+		if err := outcomes[trial].err; err != nil && !outcomes[trial].abandoned {
+			return agg, err
+		}
+	}
+	if abandoned > 0 {
+		return agg, fmt.Errorf("%s point %d: %d of %d trials abandoned: %w",
+			exp, point, abandoned, trials, cfg.canceled())
+	}
+
 	var times, czs, lags []float64
 	for _, o := range outcomes {
-		if o.err != nil {
-			return point, o.err
-		}
 		if !o.res.Completed {
 			continue
 		}
-		point.Completed++
+		agg.Completed++
 		times = append(times, float64(o.res.Time))
 		if o.res.CZTime >= 0 {
 			czs = append(czs, float64(o.res.CZTime))
@@ -106,21 +177,23 @@ func floodTrialsOpt(p sim.Params, factory sim.ModelFactory, trials, maxSteps int
 		}
 	}
 	if len(times) > 0 {
-		point.T, _ = stats.Summarize(times)
+		agg.T, _ = stats.Summarize(times)
 	}
 	if len(czs) > 0 {
-		point.CZ, _ = stats.Summarize(czs)
+		agg.CZ, _ = stats.Summarize(czs)
 	}
 	if len(lags) > 0 {
-		point.Lag, _ = stats.Summarize(lags)
+		agg.Lag, _ = stats.Summarize(lags)
 	}
-	return point, nil
+	return agg, nil
 }
 
-// trialOutcome is one trial's flooding result or error.
+// trialOutcome is one trial's flooding result or error; abandoned marks
+// trials never dispatched because the run was canceled first.
 type trialOutcome struct {
-	res core.Result
-	err error
+	res       core.Result
+	err       error
+	abandoned bool
 }
 
 // trialSeed derives trial t's world seed from the point's base seed.
@@ -132,6 +205,30 @@ func trialSeed(base uint64, trial int) uint64 {
 type trialPool struct {
 	w *sim.World
 	f *core.Flooding
+}
+
+// runIsolated is run wrapped in panic isolation and fault-injection
+// hooks: a panic anywhere inside the trial — the mobility step, the index
+// sync, the flood sweep, including panics forwarded across the sharded
+// worker pools by panicsafe — becomes a structured *PanicError naming
+// experiment/point/trial/seed/shard, and the pooled World/Flooding pair is
+// discarded because its state can no longer be trusted.
+func (tp *trialPool) runIsolated(exp string, point, shard int, p sim.Params,
+	factory sim.ModelFactory, part *cells.Partition, trial, maxSteps int,
+	src sourceKind) (out trialOutcome) {
+	seed := trialSeed(p.Seed, trial)
+	defer func() {
+		if r := recover(); r != nil {
+			tp.w, tp.f = nil, nil
+			out = trialOutcome{err: newPanicError(exp, point, trial, seed, shard, r)}
+		}
+	}()
+	if faultinject.Active {
+		faultinject.FireWorkerStall(shard)
+		faultinject.FireTrialStart(faultinject.Trial{
+			Experiment: exp, Point: point, Trial: trial, Seed: seed, Shard: shard})
+	}
+	return tp.run(p, factory, part, trial, maxSteps, src)
 }
 
 // run executes a single seeded flooding run, reusing the pooled world and
@@ -189,7 +286,8 @@ func (tp *trialPool) run(p sim.Params, factory sim.ModelFactory, part *cells.Par
 // report the trial-throughput gain of pooling.
 func SweepTrials(n, trials, maxSteps int, r float64, seed uint64, pooled bool) (int, error) {
 	p := sim.Params{N: n, L: math.Sqrt(float64(n)), R: r, V: 0.1, Seed: seed}
-	point, err := floodTrialsOpt(p, nil, trials, maxSteps, sourceCentral, false, pooled)
+	point, err := floodTrialsOpt(Config{}, "bench/e03", 0, p, nil, trials, maxSteps,
+		sourceCentral, false, pooled)
 	return point.Completed, err
 }
 

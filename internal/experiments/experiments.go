@@ -6,10 +6,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
+	"manhattanflood/internal/checkpoint"
 	"manhattanflood/internal/trace"
 )
 
@@ -25,6 +27,26 @@ type Config struct {
 	Quick bool
 	// Out receives rendered tables; nil discards them.
 	Out io.Writer
+	// Ctx cancels a run cooperatively: every experiment checks it at
+	// per-trial (or per-point) granularity — never inside the
+	// zero-allocation step loops — so cancellation lets in-flight trials
+	// finish, abandons pending ones, and leaves recorded results intact.
+	// nil means the run can never be canceled.
+	Ctx context.Context
+	// Journal, when set, records every completed flooding trial and
+	// replays already-recorded trials instead of re-running them
+	// (checkpoint/resume). Trials are independently seeded, so a resumed
+	// run aggregates to results byte-identical to an uninterrupted one.
+	Journal *checkpoint.Journal
+	// Workers caps the Monte-Carlo trial fan-out (0 = GOMAXPROCS). The
+	// worker count never affects results — only wall-clock time — so a
+	// checkpointed sweep may be resumed under a different setting.
+	Workers int
+
+	// afterTrial, when non-nil, runs on the worker goroutine after each
+	// live (non-replayed) trial completes. Test seam for the
+	// kill-and-resume property tests; deliberately unexported.
+	afterTrial func()
 }
 
 func (c Config) out() io.Writer {
@@ -32,6 +54,15 @@ func (c Config) out() io.Writer {
 		return io.Discard
 	}
 	return c.Out
+}
+
+// canceled reports the configured context's cancellation error, nil while
+// the run may proceed. Experiment loops consult it between trials/points.
+func (c Config) canceled() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
 }
 
 func (c Config) trials(def, quick int) int {
@@ -101,9 +132,13 @@ func ByID(id string) (Runner, error) {
 	return Runner{}, fmt.Errorf("experiments: unknown experiment %q", id)
 }
 
-// RunAll executes every experiment in order, stopping at the first error.
+// RunAll executes every experiment in order, stopping at the first error
+// (including cooperative cancellation via cfg.Ctx).
 func RunAll(cfg Config) error {
 	for _, r := range All() {
+		if err := cfg.canceled(); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
 		if _, err := fmt.Fprintf(cfg.out(), "\n=== %s — %s ===\n%s\n\n", r.ID, r.Paper, r.Description); err != nil {
 			return err
 		}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"manhattanflood/internal/sim"
+)
+
+// SweepSpec describes a flooding-time parameter sweep: one axis (r, v,
+// or n) varies over Values while the other parameters stay fixed. It is
+// the exported form of what cmd/sweep historically did inline, moved
+// behind the crash-safe trial runner so sweeps gain cancellation,
+// checkpoint/resume, and per-point panic isolation.
+type SweepSpec struct {
+	Param    string    // swept axis: "r", "v", or "n"
+	Values   []float64 // values the swept axis takes, one sweep point each
+	N        int       // agents (fixed unless Param == "n")
+	R        float64   // radius (fixed unless Param == "r")
+	V        float64   // speed (fixed unless Param == "v")
+	Trials   int       // independently seeded runs per point
+	MaxSteps int       // step budget per run
+	Seed     uint64    // base seed; trial t runs at trialSeed(Seed, t)
+	Source   string    // source placement: "center", "corner", "random"
+}
+
+// SweepPoint is one row of the sweep. When Err is non-nil the point's
+// trials could not be aggregated — a recovered trial panic, reported but
+// not fatal to the sweep — and the numeric fields are zero.
+type SweepPoint struct {
+	Value      float64
+	MeanT      float64
+	CI95       float64
+	CZTime     float64
+	SuburbLag  float64
+	LOverR     float64
+	SecondTerm float64 // Theorem 3 second-phase regressor (L^3 log n)/(R^2 n v)
+	Completed  int
+	Trials     int
+	Err        error
+}
+
+// SweepResult is the full sweep, one point per spec value.
+type SweepResult struct {
+	Points []SweepPoint
+}
+
+// sweepSource maps the CLI source names onto the internal placements
+// (center = Central Zone agent, corner = Suburb agent, random = agent 0,
+// whose position is a stationary-law draw).
+func sweepSource(name string) (sourceKind, error) {
+	switch name {
+	case "", "center":
+		return sourceCentral, nil
+	case "corner":
+		return sourceSuburb, nil
+	case "random":
+		return sourceFirst, nil
+	default:
+		return 0, fmt.Errorf("unknown source %q (want center, corner, or random)", name)
+	}
+}
+
+// RunSweep runs the sweep through the crash-safe trial runner. Each point
+// is keyed "sweep/<param>" with its index into Values, so an attached
+// cfg.Journal checkpoints completed trials and a resumed run replays them
+// byte-identically. Per-point panic isolation: a point whose trials panic
+// records the structured *PanicError in its Err field and the sweep moves
+// on — one poisoned parameter point does not cost the rest of the sweep.
+// Cancellation and construction errors, by contrast, abort the sweep and
+// return the partial result alongside the error.
+func RunSweep(cfg Config, spec SweepSpec) (SweepResult, error) {
+	var res SweepResult
+	src, err := sweepSource(spec.Source)
+	if err != nil {
+		return res, err
+	}
+	switch spec.Param {
+	case "r", "v", "n":
+	default:
+		return res, fmt.Errorf("unknown param %q (want r, v, or n)", spec.Param)
+	}
+	if len(spec.Values) == 0 {
+		return res, errors.New("sweep needs at least one value")
+	}
+	if spec.Trials <= 0 {
+		return res, errors.New("sweep needs at least one trial per point")
+	}
+	exp := "sweep/" + spec.Param
+
+	for i, val := range spec.Values {
+		if err := cfg.canceled(); err != nil {
+			return res, err
+		}
+		cn, cr, cv := spec.N, spec.R, spec.V
+		switch spec.Param {
+		case "r":
+			cr = val
+		case "v":
+			cv = val
+		case "n":
+			cn = int(val)
+		}
+		l := math.Sqrt(float64(cn))
+		sp := SweepPoint{Value: val, Trials: spec.Trials}
+		point, err := floodTrials(cfg, exp, i,
+			sim.Params{N: cn, L: l, R: cr, V: cv, Seed: spec.Seed},
+			nil, spec.Trials, spec.MaxSteps, src, true)
+		if err != nil {
+			var pe *PanicError
+			if errors.As(err, &pe) {
+				// The point is poisoned but diagnosable; keep sweeping.
+				sp.Err = err
+				res.Points = append(res.Points, sp)
+				continue
+			}
+			return res, err
+		}
+		sp.MeanT = point.T.Mean
+		sp.CI95 = point.T.CI95
+		sp.CZTime = point.CZ.Mean
+		sp.SuburbLag = point.Lag.Mean
+		sp.LOverR = l / cr
+		sp.SecondTerm = secondPhaseScale(cn, l, cr, cv)
+		sp.Completed = point.Completed
+		res.Points = append(res.Points, sp)
+	}
+	return res, nil
+}

@@ -1,0 +1,88 @@
+//go:build faultinject
+
+package faultinject
+
+import "sync"
+
+// Active is true under `-tags faultinject`: hook sites consult the
+// registry below on every firing.
+const Active = true
+
+// registry holds the armed hooks. A single mutex suffices — hooks fire
+// from many goroutines, but only the fault-injection suite runs in this
+// build, and the lock is copied out before the hook body runs so a hook
+// that itself panics cannot leave the registry locked.
+var registry struct {
+	mu         sync.Mutex
+	trialStart func(Trial)
+	stall      func(shard int)
+	indexBail  func() bool
+}
+
+// SetTrialStart arms f to run at the start of every trial, inside the
+// trial runner's recover scope: a panicking f is recovered into the same
+// structured per-trial error a real trial panic produces. nil disarms.
+func SetTrialStart(f func(Trial)) {
+	registry.mu.Lock()
+	registry.trialStart = f
+	registry.mu.Unlock()
+}
+
+// SetWorkerStall arms f to run once per trial on the executing worker,
+// before the trial body; a sleeping f simulates a slow or wedged shard.
+// nil disarms.
+func SetWorkerStall(f func(shard int)) {
+	registry.mu.Lock()
+	registry.stall = f
+	registry.mu.Unlock()
+}
+
+// SetIndexSyncBail arms f to be consulted by sim.World.syncIndex; when f
+// returns true the world abandons the delta-update path for that step and
+// runs the full counting-sort rebuild (whose result must be
+// bit-identical). nil disarms.
+func SetIndexSyncBail(f func() bool) {
+	registry.mu.Lock()
+	registry.indexBail = f
+	registry.mu.Unlock()
+}
+
+// Reset disarms every hook; fault-injection tests defer it.
+func Reset() {
+	registry.mu.Lock()
+	registry.trialStart = nil
+	registry.stall = nil
+	registry.indexBail = nil
+	registry.mu.Unlock()
+}
+
+// FireTrialStart runs the armed trial-start hook, if any.
+func FireTrialStart(t Trial) {
+	registry.mu.Lock()
+	f := registry.trialStart
+	registry.mu.Unlock()
+	if f != nil {
+		f(t)
+	}
+}
+
+// FireWorkerStall runs the armed stall hook, if any.
+func FireWorkerStall(shard int) {
+	registry.mu.Lock()
+	f := registry.stall
+	registry.mu.Unlock()
+	if f != nil {
+		f(shard)
+	}
+}
+
+// FireIndexSyncBail consults the armed bail hook; false when disarmed.
+func FireIndexSyncBail() bool {
+	registry.mu.Lock()
+	f := registry.indexBail
+	registry.mu.Unlock()
+	if f != nil {
+		return f()
+	}
+	return false
+}

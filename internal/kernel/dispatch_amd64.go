@@ -6,6 +6,8 @@ import (
 	"os"
 	"strings"
 	"sync/atomic"
+
+	"manhattanflood/internal/panicsafe"
 )
 
 // avx2Available is the one-time CPUID verdict: AVX2 present and the OS
@@ -104,7 +106,7 @@ func maskInto(dst []uint64, xs, ys []float64, px, py, r2 float64) {
 func MaskWord(xs, ys []float64, px, py, r2 float64) uint64 {
 	n := len(xs)
 	if n > 64 {
-		panic("kernel: MaskWord span longer than 64 lanes")
+		panic(panicsafe.Invariant("kernel", "MaskWord span longer than 64 lanes: len(xs)=%d", n))
 	}
 	if n >= 8 && useAVX2.Load() {
 		var w uint64

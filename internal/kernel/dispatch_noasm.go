@@ -2,6 +2,8 @@
 
 package kernel
 
+import "manhattanflood/internal/panicsafe"
+
 // maskInto dispatches one span's mask computation. Without the assembly
 // kernel (non-amd64, or the purego build tag) the reference loop is the
 // only implementation.
@@ -15,7 +17,7 @@ func maskInto(dst []uint64, xs, ys []float64, px, py, r2 float64) {
 // len(xs) must be <= 64.
 func MaskWord(xs, ys []float64, px, py, r2 float64) uint64 {
 	if len(xs) > 64 {
-		panic("kernel: MaskWord span longer than 64 lanes")
+		panic(panicsafe.Invariant("kernel", "MaskWord span longer than 64 lanes: len(xs)=%d", len(xs)))
 	}
 	return maskWordGeneric(0, xs, ys, px, py, r2, 0)
 }

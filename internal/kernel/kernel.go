@@ -44,8 +44,9 @@
 package kernel
 
 import (
-	"fmt"
 	"math/bits"
+
+	"manhattanflood/internal/panicsafe"
 )
 
 // sparsePerWord is the adaptive cutoff of the filtered helpers: below
@@ -77,7 +78,9 @@ func Hit(x, y, px, py, r2 float64) bool {
 func Mask(dst []uint64, xs, ys []float64, px, py, r2 float64) {
 	n := len(xs)
 	if len(ys) != n {
-		panic(fmt.Sprintf("kernel: coordinate spans disagree: len(xs)=%d len(ys)=%d", n, len(ys)))
+		// Programmer-error panic: never recovered into a silent fallback
+		// (see panicsafe's package comment).
+		panic(panicsafe.Invariant("kernel", "coordinate spans disagree: len(xs)=%d len(ys)=%d", n, len(ys)))
 	}
 	d := dst[:Words(n)]
 	clear(d)

@@ -43,9 +43,11 @@ import (
 	"math/rand/v2"
 	"sync"
 
+	"manhattanflood/internal/faultinject"
 	"manhattanflood/internal/geom"
 	"manhattanflood/internal/graph"
 	"manhattanflood/internal/mobility"
+	"manhattanflood/internal/panicsafe"
 	"manhattanflood/internal/spatialindex"
 )
 
@@ -158,6 +160,11 @@ type World struct {
 	bulk       mobility.BulkStepper // model steps homogeneous agent slices directly (nil without the capability)
 	index      *spatialindex.Index
 	step       int
+	// catch forwards panics out of the parallel stepping workers onto the
+	// goroutine that called Step, so a poisoned agent fails its trial with
+	// a diagnosable report instead of crashing the process. A field so the
+	// parallel step stays allocation-free.
+	catch panicsafe.Catcher
 }
 
 // NewWorld creates a world of p.N agents using the given mobility model
@@ -318,8 +325,15 @@ func (w *World) Step() {
 // syncIndex re-synchronizes the neighbor index with the stepped positions,
 // choosing between the delta patch and the full counting-sort rebuild by
 // predicted mover fraction (movers ~= moving agents * V/R). Both paths
-// produce bit-identical index state.
+// produce bit-identical index state — which is exactly what the
+// fault-injection hook below exercises: under `-tags faultinject` a test
+// can force any step onto the full rebuild (the delta path's bail
+// destination) and assert results do not change. Compiled out otherwise.
 func (w *World) syncIndex() {
+	if faultinject.Active && faultinject.FireIndexSyncBail() {
+		w.index.RebuildXY(w.x, w.y)
+		return
+	}
 	vOverR := w.params.V / w.params.R
 	if !w.bound || w.neverRests {
 		// Third-party agents bypass the view, and never-resting models set
@@ -366,14 +380,18 @@ func (w *World) stepParallel() {
 	n := len(w.agents)
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
+	shard := 0
 	for start := 0; start < n; start += chunk {
 		end := start + chunk
 		if end > n {
 			end = n
 		}
+		sh := shard
+		shard++
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(sh, lo, hi int) {
 			defer wg.Done()
+			defer w.catch.Recover(sh)
 			if w.bound {
 				if w.bulk != nil {
 					w.bulk.StepAgents(w.agents[lo:hi])
@@ -389,9 +407,10 @@ func (w *World) stepParallel() {
 				p := w.agents[i].Pos()
 				w.x[i], w.y[i] = p.X, p.Y
 			}
-		}(start, end)
+		}(sh, start, end)
 	}
 	wg.Wait()
+	w.catch.Rethrow()
 }
 
 // Position returns agent i's current position.

@@ -62,6 +62,7 @@ import (
 
 	"manhattanflood/internal/geom"
 	"manhattanflood/internal/kernel"
+	"manhattanflood/internal/panicsafe"
 )
 
 // Index is a uniform-grid fixed-radius neighbor index in CSR form.
@@ -177,7 +178,9 @@ func (ix *Index) ensure(n int) {
 func (ix *Index) RebuildXY(xs, ys []float64) {
 	n := len(xs)
 	if len(ys) != n {
-		panic(fmt.Sprintf("spatialindex: coordinate slices disagree: len(xs)=%d len(ys)=%d", n, len(ys)))
+		// Programmer-error panic: never recovered into a silent fallback
+		// (see panicsafe's package comment).
+		panic(panicsafe.Invariant("spatialindex", "coordinate slices disagree: len(xs)=%d len(ys)=%d", n, len(ys)))
 	}
 	ix.ensure(n)
 	// The snapshot copy is fused into the classify pass: one read of the

@@ -1,6 +1,6 @@
 package spatialindex
 
-import "fmt"
+import "manhattanflood/internal/panicsafe"
 
 // UpdateFallbackFraction is the mover fraction above which Update abandons
 // the delta patch and falls back to the full counting-sort rebuild. Movers
@@ -101,10 +101,12 @@ func (ix *Index) ensureUpdate(n int) {
 func (ix *Index) Update(xs, ys []float64, dirty []bool) {
 	n := len(xs)
 	if len(ys) != n {
-		panic(fmt.Sprintf("spatialindex: coordinate slices disagree: len(xs)=%d len(ys)=%d", n, len(ys)))
+		// Programmer-error panic: never recovered into a silent fallback
+		// (see panicsafe's package comment).
+		panic(panicsafe.Invariant("spatialindex", "coordinate slices disagree: len(xs)=%d len(ys)=%d", n, len(ys)))
 	}
 	if dirty != nil && len(dirty) != n {
-		panic(fmt.Sprintf("spatialindex: dirty flags disagree with points: len(dirty)=%d len(xs)=%d", len(dirty), n))
+		panic(panicsafe.Invariant("spatialindex", "dirty flags disagree with points: len(dirty)=%d len(xs)=%d", len(dirty), n))
 	}
 	if n != len(ix.ids) || n == 0 {
 		// Population changed (or first build): there is no delta to exploit.

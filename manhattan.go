@@ -26,6 +26,7 @@
 package manhattan
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -294,6 +295,10 @@ const (
 
 // FloodOptions configures a flooding run.
 type FloodOptions struct {
+	// Ctx cancels the run between flood steps when non-nil: the run stops
+	// at the next step boundary and Flood returns the partial result
+	// alongside the context's error. A nil Ctx never cancels.
+	Ctx context.Context
 	// Source places the initially informed agent (default SourceCenter).
 	Source Source
 	// SourceAgent overrides Source with an explicit agent id when > 0
@@ -365,11 +370,8 @@ func (s *Simulation) Flood(opts FloodOptions) (FloodResult, error) {
 	if err != nil {
 		return FloodResult{}, fmt.Errorf("manhattan: %w", err)
 	}
-	res, err := f.Run(maxSteps)
-	if err != nil {
-		return FloodResult{}, fmt.Errorf("manhattan: %w", err)
-	}
-	return FloodResult{
+	res, err := f.RunContext(opts.Ctx, maxSteps)
+	out := FloodResult{
 		Completed: res.Completed,
 		Time:      res.Time,
 		CZTime:    res.CZTime,
@@ -377,7 +379,13 @@ func (s *Simulation) Flood(opts FloodOptions) (FloodResult, error) {
 		Informed:  res.Informed,
 		Source:    source,
 		Series:    f.Series(),
-	}, nil
+	}
+	if err != nil {
+		// A canceled run still reports how far it got; the caller decides
+		// whether the partial result is worth keeping.
+		return out, fmt.Errorf("manhattan: %w", err)
+	}
+	return out, nil
 }
 
 // Bounds carries every closed-form quantity the paper predicts for a
