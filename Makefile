@@ -9,13 +9,13 @@ GO ?= go
 GOTAGS ?=
 TAGFLAG = $(if $(GOTAGS),-tags $(GOTAGS))
 
-.PHONY: ci ci-purego check fmt vet build test test-race test-fault bench bench-allocs bench-json bench-compare docs clean clean-check
+.PHONY: ci ci-purego check fmt vet build test test-race test-fault test-service bench bench-allocs bench-json bench-compare docs clean clean-check
 
 # ci is the full local tier-1 gate: the hardware-independent checks plus
 # the fault-injection suite, the timing smoke run and the ns/op
 # regression gate against the committed trajectory file (which
 # self-disables on non-comparable hardware; see bench-compare).
-ci: check test-fault bench bench-compare
+ci: check test-fault test-service bench bench-compare
 
 # ci-purego is the fallback-path leg of the matrix: the same
 # hardware-independent gate with the assembly kernel compiled out.
@@ -66,6 +66,19 @@ FAULTTAGS = $(if $(GOTAGS),$(GOTAGS)$(comma)faultinject,faultinject)
 test-fault:
 	$(GO) test -tags $(FAULTTAGS) ./internal/faultinject/ ./internal/experiments/
 	$(GO) test -tags $(FAULTTAGS) -race ./internal/faultinject/
+
+# test-service gates the sweep service end to end: the scheduler/HTTP
+# unit and load tests with a -race leg (concurrent admission, tenant
+# round-robin, and watchdog abandonment are exactly where races hide),
+# the faultinject variants (injected worker stalls tripping the watchdog,
+# injected panics poisoning single jobs), and the cmd/floodd e2e suite
+# that SIGKILLs the real daemon mid-sweep and requires the restarted one
+# to finish with byte-identical results.
+test-service:
+	$(GO) test $(TAGFLAG) ./internal/service/ ./cmd/floodd/
+	$(GO) test $(TAGFLAG) -race ./internal/service/
+	$(GO) test -tags $(FAULTTAGS) ./internal/service/
+	$(GO) test -tags $(FAULTTAGS) -race ./internal/service/
 
 # bench runs the micro-benchmarks briefly — a smoke test that the hot loops
 # still run allocation-free, not a measurement.

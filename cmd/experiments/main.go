@@ -4,12 +4,13 @@
 // Usage:
 //
 //	experiments [-quick] [-seed N] [-trials N] [-only E03[,E05,...]]
-//	            [-workers N] [-checkpoint exp.ckpt] [-resume]
+//	            [-workers N] [-checkpoint exp.ckpt] [-resume] [-timeout 30m]
 //
 // Full-size runs take minutes; -quick completes in seconds at reduced
 // statistical power.
 //
-// The suite is crash-safe. SIGINT/SIGTERM drains gracefully: in-flight
+// The suite is crash-safe. SIGINT/SIGTERM — or an expired -timeout —
+// drains gracefully: in-flight
 // trials finish, the checkpoint journal (if -checkpoint is set) is
 // flushed, and the process exits nonzero with a hint to rerun with
 // -resume — which replays the recorded trials and reproduces the
@@ -39,6 +40,7 @@ func main() {
 	workers := flag.Int("workers", 0, "trial worker goroutines (0 = GOMAXPROCS)")
 	ckptPath := flag.String("checkpoint", "", "checkpoint journal path (enables crash-safe resume)")
 	resume := flag.Bool("resume", false, "replay completed trials from the -checkpoint journal")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole suite (0 = none); on expiry the run drains like an interrupt")
 	flag.Parse()
 
 	if *list {
@@ -74,6 +76,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	cfg := experiments.Config{
 		Ctx:     ctx,
@@ -94,7 +101,10 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		if errors.Is(err, context.Canceled) {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "experiments: -timeout %s exceeded; partial results above are valid\n", *timeout)
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			if journal != nil {
 				fmt.Fprintf(os.Stderr, "experiments: completed trials are checkpointed in %s; rerun with -resume to continue\n",
 					*ckptPath)

@@ -6,7 +6,7 @@
 //
 //	floodsim [-n 4000] [-l 0] [-r 5] [-v 0.3] [-seed 1]
 //	         [-model mrwp|rwp|walk|direction] [-source center|corner|random]
-//	         [-max-steps 100000] [-chaining] [-series]
+//	         [-max-steps 100000] [-chaining] [-series] [-timeout 1m]
 //
 // -l 0 (default) uses the paper's standard L = sqrt(n).
 package main
@@ -36,6 +36,7 @@ func main() {
 	maxSteps := flag.Int("max-steps", 100000, "step budget")
 	chaining := flag.Bool("chaining", false, "within-step epidemic relaying (ablation)")
 	series := flag.Bool("series", false, "print the informed-count time series")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); on expiry the run stops like an interrupt")
 	flag.Parse()
 
 	side := *l
@@ -91,6 +92,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	res, err := sim.Flood(manhattan.FloodOptions{
 		Ctx:          ctx,
 		Source:       src,
@@ -100,7 +106,10 @@ func main() {
 		RecordSeries: *series,
 	})
 	if err != nil {
-		if errors.Is(err, context.Canceled) {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "floodsim: -timeout %s exceeded at step %d: %d/%d informed\n",
+				*timeout, res.Time, res.Informed, *n)
+		} else if errors.Is(err, context.Canceled) {
 			fmt.Fprintf(os.Stderr, "floodsim: interrupted at step %d: %d/%d informed\n",
 				res.Time, res.Informed, *n)
 		} else {

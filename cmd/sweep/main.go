@@ -6,18 +6,19 @@
 //
 //	sweep -param r -values 4,5,6,8,12 [-n 4000] [-v 0.3] [-r 5]
 //	      [-trials 5] [-seed 1] [-max-steps 100000] [-source center]
-//	      [-workers 0] [-checkpoint sweep.ckpt] [-resume]
+//	      [-workers 0] [-checkpoint sweep.ckpt] [-resume] [-timeout 10m]
 //
 // -param selects which axis varies (r, v, or n); the corresponding fixed
 // flag is ignored. Output columns: value, mean T, ci95, CZ time, suburb
 // lag, L/R, second-phase term, completed/trials.
 //
-// The sweep is crash-safe. SIGINT/SIGTERM drains gracefully: in-flight
-// trials finish, the checkpoint journal (if -checkpoint is set) is
-// flushed, completed points are printed, and the process exits nonzero
-// with a hint to rerun with -resume. A resumed sweep replays recorded
-// trials from the journal and produces byte-identical TSV to an
-// uninterrupted run.
+// The sweep is crash-safe. SIGINT/SIGTERM — or an expired -timeout —
+// drains gracefully: in-flight trials finish, the checkpoint journal (if
+// -checkpoint is set) is flushed, completed points are printed, and the
+// process exits nonzero with a hint to rerun with -resume. A resumed
+// sweep replays recorded trials from the journal and produces
+// byte-identical TSV to an uninterrupted run. -resume refuses (exit 2) a
+// journal recorded under different sweep flags.
 package main
 
 import (
@@ -48,6 +49,7 @@ func main() {
 	workers := flag.Int("workers", 0, "trial worker goroutines (0 = GOMAXPROCS)")
 	ckptPath := flag.String("checkpoint", "", "checkpoint journal path (enables crash-safe resume)")
 	resume := flag.Bool("resume", false, "replay completed trials from the -checkpoint journal")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole sweep (0 = none); on expiry the sweep drains like an interrupt")
 	flag.Parse()
 
 	if *values == "" {
@@ -68,6 +70,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	spec := experiments.SweepSpec{
+		Param: *param, Values: vals,
+		N: *n, R: *r, V: *v,
+		Trials: *trials, MaxSteps: *maxSteps,
+		Seed: *seed, Source: *source,
+	}
+
 	var journal *checkpoint.Journal
 	if *ckptPath != "" {
 		if !*resume {
@@ -84,22 +93,30 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			os.Exit(1)
 		}
-		if *resume && journal.Len() > 0 {
-			fmt.Fprintf(os.Stderr, "sweep: resuming: %d trials already recorded in %s\n",
-				journal.Len(), *ckptPath)
+		if *resume {
+			// A journal recorded for different flags would silently poison
+			// the resumed sweep; refuse it with the mismatch spelled out.
+			if err := spec.CheckJournal(journal); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: %s was recorded for a different sweep: %v\n", *ckptPath, err)
+				fmt.Fprintln(os.Stderr, "sweep: rerun with the original flags, or delete the journal to start over")
+				os.Exit(2)
+			}
+			if journal.Len() > 0 {
+				fmt.Fprintf(os.Stderr, "sweep: resuming: %d trials already recorded in %s\n",
+					journal.Len(), *ckptPath)
+			}
 		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	cfg := experiments.Config{Ctx: ctx, Journal: journal, Workers: *workers}
-	spec := experiments.SweepSpec{
-		Param: *param, Values: vals,
-		N: *n, R: *r, V: *v,
-		Trials: *trials, MaxSteps: *maxSteps,
-		Seed: *seed, Source: *source,
-	}
 	res, runErr := experiments.RunSweep(cfg, spec)
 
 	// Whatever happened, persist the journal first: the recorded trials
@@ -124,9 +141,13 @@ func main() {
 	}
 
 	switch {
-	case runErr != nil && errors.Is(runErr, context.Canceled):
-		fmt.Fprintf(os.Stderr, "sweep: interrupted: %d of %d points completed\n",
-			len(res.Points), len(vals))
+	case runErr != nil && (errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded)):
+		reason := "interrupted"
+		if errors.Is(runErr, context.DeadlineExceeded) {
+			reason = fmt.Sprintf("-timeout %s exceeded", *timeout)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: %s: %d of %d points completed\n",
+			reason, len(res.Points), len(vals))
 		if journal != nil {
 			fmt.Fprintf(os.Stderr, "sweep: completed trials are checkpointed in %s; rerun with -resume to continue\n",
 				*ckptPath)

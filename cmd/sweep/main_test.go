@@ -84,3 +84,112 @@ func TestSIGINTThenResumeByteIdentical(t *testing.T) {
 		t.Fatalf("resumed TSV differs from uninterrupted run\ngot: %s\nwant: %s", got, want)
 	}
 }
+
+// buildSweep compiles the real binary for CLI-behavior tests.
+func buildSweep(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds and runs the sweep binary")
+	}
+	bin := filepath.Join(t.TempDir(), "sweep")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runSweep executes the binary and returns stdout, stderr, and the exit
+// code (0 on success, -1 if the process did not run at all).
+func runSweep(t *testing.T, bin string, args ...string) ([]byte, []byte, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.Bytes(), stderr.Bytes(), code
+}
+
+// TestResumeFlagValidation pins the two usage-error paths to exit code 2
+// with actionable messages: -resume without -checkpoint, and -resume
+// against a journal recorded under different sweep flags.
+func TestResumeFlagValidation(t *testing.T) {
+	bin := buildSweep(t)
+	fast := []string{"-param", "r", "-values", "3,5", "-n", "400",
+		"-trials", "2", "-max-steps", "5000", "-seed", "7"}
+
+	_, stderr, code := runSweep(t, bin, append(append([]string{}, fast...), "-resume")...)
+	if code != 2 || !bytes.Contains(stderr, []byte("-resume requires -checkpoint")) {
+		t.Fatalf("resume without checkpoint: code=%d stderr=%s", code, stderr)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if _, stderr, code := runSweep(t, bin, append(append([]string{}, fast...), "-checkpoint", ckpt)...); code != 0 {
+		t.Fatalf("seed run failed: code=%d stderr=%s", code, stderr)
+	}
+
+	// Same journal, different flags: the fingerprints cannot match.
+	mismatched := []string{"-param", "r", "-values", "3,5", "-n", "400",
+		"-trials", "2", "-max-steps", "5000", "-seed", "8",
+		"-checkpoint", ckpt, "-resume"}
+	_, stderr, code = runSweep(t, bin, mismatched...)
+	if code != 2 {
+		t.Fatalf("mismatched resume: code=%d, want 2\nstderr: %s", code, stderr)
+	}
+	if !bytes.Contains(stderr, []byte("different sweep")) || !bytes.Contains(stderr, []byte("original flags")) {
+		t.Fatalf("mismatched resume stderr not actionable:\n%s", stderr)
+	}
+
+	// The same flags still resume cleanly — the journal was not damaged
+	// by the refusal.
+	if _, stderr, code := runSweep(t, bin, append(append([]string{}, fast...), "-checkpoint", ckpt, "-resume")...); code != 0 {
+		t.Fatalf("matching resume failed: code=%d stderr=%s", code, stderr)
+	}
+}
+
+// TestTimeoutDrainsAndResumes: a sweep that blows its -timeout drains
+// like an interrupt — partial results, nonzero exit, a -resume hint —
+// and the resumed run is byte-identical to an uninterrupted one.
+func TestTimeoutDrainsAndResumes(t *testing.T) {
+	bin := buildSweep(t)
+	args := []string{"-param", "r", "-values", "2,2.5,3", "-n", "30000",
+		"-trials", "8", "-max-steps", "60000", "-seed", "5", "-workers", "2"}
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+
+	want, stderr, code := runSweep(t, bin, args...)
+	if code != 0 {
+		t.Fatalf("baseline: code=%d stderr=%s", code, stderr)
+	}
+
+	_, stderr, code = runSweep(t, bin, append(append([]string{}, args...),
+		"-checkpoint", ckpt, "-timeout", "300ms")...)
+	if code == 0 {
+		// The whole sweep fit inside the budget on this machine; nothing
+		// left to assert about draining.
+		t.Skip("sweep completed within the timeout budget")
+	}
+	if code != 1 {
+		t.Fatalf("timed-out run: code=%d, want 1\nstderr: %s", code, stderr)
+	}
+	if !bytes.Contains(stderr, []byte("-timeout")) || !bytes.Contains(stderr, []byte("-resume")) {
+		t.Fatalf("timed-out run's stderr lacks the timeout/resume hints:\n%s", stderr)
+	}
+
+	got, stderr, code := runSweep(t, bin, append(append([]string{}, args...),
+		"-checkpoint", ckpt, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume: code=%d stderr=%s", code, stderr)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed TSV differs from uninterrupted run\ngot: %s\nwant: %s", got, want)
+	}
+}

@@ -7,30 +7,40 @@
 // integer fields the aggregation consumes, and integers round-trip JSON
 // exactly.
 //
-// Durability discipline: the journal lives in memory and is persisted by
-// Flush, which writes the complete journal to a temporary file in the
-// destination directory and renames it into place. The rename is atomic on
-// POSIX filesystems, so a crash mid-flush leaves the previous journal
-// intact — readers observe either the old complete journal or the new
-// complete journal, never a torn one. Callers flush at point granularity
-// (after each sweep point) and on graceful shutdown; at worst one point's
-// trials are re-run after a hard kill.
+// Durability discipline, two modes:
+//
+//   - Rewrite mode (Open + Flush): the journal lives in memory and Flush
+//     writes the complete journal to a temporary file in the destination
+//     directory, fsyncs it, renames it into place, and fsyncs the parent
+//     directory so the rename itself survives a power cut. The rename is
+//     atomic on POSIX filesystems — readers observe either the old
+//     complete journal or the new complete journal, never a torn one.
+//     The one-shot CLIs flush at point granularity and on shutdown.
+//
+//   - Append mode (OpenAppend + RecordDurable): every recorded unit is
+//     appended as one JSONL line and fsynced before RecordDurable
+//     returns, so a SIGKILL loses at most the trial that was still in
+//     flight. The long-running sweep service uses this mode: per-cell
+//     O(1) durability instead of an O(journal) rewrite per trial. A crash
+//     mid-append can leave a truncated final line; the loader treats an
+//     unterminated, unparsable tail as an uncommitted trial and drops it
+//     (OpenAppend additionally truncates it away before appending).
+//     Corruption anywhere before the final line is still a hard error —
+//     checkpointed work is never silently discarded.
 //
 // File format (versioned, line-oriented JSON): the first line is a header
 // object {"schema":"manhattanflood/checkpoint/v1"}; every following line
 // is one Entry. Line-oriented JSON keeps the journal greppable and
-// append-diffable in review, while the whole-file rewrite keeps the
-// atomicity story trivial (journals are thousands of lines at most —
-// rewrite cost is noise next to one simulation trial).
+// append-diffable in review, and gives append mode its O(1) commit.
 package checkpoint
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 )
@@ -87,13 +97,15 @@ type Entry struct {
 }
 
 // Journal is a concurrency-safe set of completed units. The zero value is
-// not usable; construct with New (in-memory only) or Open (backed by a
-// file).
+// not usable; construct with New (in-memory only), Open (backed by a
+// file, rewrite mode) or OpenAppend (backed by a file, durable-append
+// mode).
 type Journal struct {
 	mu      sync.Mutex
 	path    string // empty for in-memory journals
 	entries []Entry
 	index   map[Unit]int
+	f       *os.File // non-nil in append mode
 }
 
 // New returns an in-memory journal (no backing file; Flush is a no-op).
@@ -104,26 +116,88 @@ func New() *Journal {
 
 // Open loads the journal at path, creating an empty one (in memory — the
 // file appears at first Flush) when the file does not exist yet. A
-// malformed journal is an error, never silently truncated: the caller
-// should delete or move the file explicitly rather than lose checkpointed
-// work to a quiet reset.
+// malformed journal is an error, never silently truncated, with one
+// carefully scoped exception: a final line that is both unterminated (no
+// trailing newline) and unparsable is the signature of a crash mid-append
+// and is treated as an uncommitted trial — dropped, not fatal. The caller
+// should delete or move a journal corrupted anywhere else explicitly
+// rather than lose checkpointed work to a quiet reset.
 func Open(path string) (*Journal, error) {
+	j, _, err := load(path)
+	return j, err
+}
+
+// OpenAppend opens the journal at path for durable per-record appends
+// (creating it, header included, when absent). Existing entries are
+// loaded exactly as Open does; a truncated trailing line left by a crash
+// mid-append is physically truncated away so subsequent appends start on
+// a clean line boundary. Callers must Close the journal when done.
+func OpenAppend(path string) (*Journal, error) {
+	j, goodLen, err := load(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: opening journal for append: %w", err)
+	}
+	if err := f.Truncate(goodLen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: truncating partial journal tail: %w", err)
+	}
+	if _, err := f.Seek(goodLen, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: seeking journal: %w", err)
+	}
+	if goodLen == 0 {
+		// Fresh journal: commit the header and make the new file durable
+		// before any entry refers to it.
+		if _, err := fmt.Fprintf(f, "{\"schema\":%q}\n", schema); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: writing journal header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: syncing journal header: %w", err)
+		}
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	j.f = f
+	return j, nil
+}
+
+// load reads and parses the journal at path, returning the journal, the
+// byte length of the valid prefix (entries end exactly there — an
+// unterminated, unparsable tail is excluded), and any hard error.
+func load(path string) (*Journal, int64, error) {
 	j := New()
 	j.path = path
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return j, nil
+		return j, 0, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint: reading journal: %w", err)
+		return nil, 0, fmt.Errorf("checkpoint: reading journal: %w", err)
 	}
-	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	off := 0
 	lineNo := 0
-	for sc.Scan() {
-		line := sc.Bytes()
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		terminated := nl >= 0
+		var line []byte
+		next := len(data)
+		if terminated {
+			line = data[off : off+nl]
+			next = off + nl + 1
+		} else {
+			line = data[off:]
+		}
 		lineNo++
 		if len(line) == 0 {
+			off = next
 			continue
 		}
 		if lineNo == 1 {
@@ -131,20 +205,47 @@ func Open(path string) (*Journal, error) {
 				Schema string `json:"schema"`
 			}
 			if err := json.Unmarshal(line, &hdr); err != nil || hdr.Schema != schema {
-				return nil, fmt.Errorf("checkpoint: %s is not a %s journal", path, schema)
+				if !terminated {
+					// The file died while the header itself was being
+					// written: nothing was ever committed.
+					return j, 0, nil
+				}
+				return nil, 0, fmt.Errorf("checkpoint: %s is not a %s journal", path, schema)
 			}
+			off = next
 			continue
 		}
 		var e Entry
 		if err := json.Unmarshal(line, &e); err != nil {
-			return nil, fmt.Errorf("checkpoint: %s line %d: %w", path, lineNo, err)
+			if !terminated {
+				// Crash mid-append: the unterminated tail is an
+				// uncommitted trial. Drop it; everything before it stands.
+				return j, int64(off), nil
+			}
+			return nil, 0, fmt.Errorf("checkpoint: %s line %d: %w", path, lineNo, err)
 		}
 		j.record(e)
+		off = next
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("checkpoint: scanning %s: %w", path, err)
+	return j, int64(len(data)), nil
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed file's
+// directory entry survives a power cut. No-op on Windows, where
+// directories cannot be opened for syncing.
+func syncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
 	}
-	return j, nil
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: opening dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing dir: %w", err)
+	}
+	return nil
 }
 
 // Path returns the backing file path ("" for in-memory journals).
@@ -179,6 +280,53 @@ func (j *Journal) Record(u Unit, r Result) {
 	j.record(Entry{Unit: u, Result: r})
 }
 
+// RecordDurable records a completed unit and, in append mode, commits it
+// to disk (append one line + fsync) before returning — the unit survives
+// a SIGKILL the instant this returns. Outside append mode it behaves like
+// Record. The in-memory record always succeeds even when the disk write
+// fails, so a full disk degrades durability, not correctness: the caller
+// decides whether to fail open (keep computing, warn) or stop.
+func (j *Journal) RecordDurable(u Unit, r Result) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.record(Entry{Unit: u, Result: r})
+	if j.f == nil {
+		return nil
+	}
+	line, err := json.Marshal(Entry{Unit: u, Result: r})
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding entry: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("checkpoint: appending entry: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing entry: %w", err)
+	}
+	return nil
+}
+
+// Close releases the append-mode file handle after a final sync. No-op
+// for in-memory and rewrite-mode journals.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	syncErr := j.f.Sync()
+	closeErr := j.f.Close()
+	j.f = nil
+	if syncErr != nil {
+		return fmt.Errorf("checkpoint: syncing journal on close: %w", syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("checkpoint: closing journal: %w", closeErr)
+	}
+	return nil
+}
+
 func (j *Journal) record(e Entry) {
 	if i, ok := j.index[e.Unit]; ok {
 		j.entries[i] = e
@@ -195,6 +343,11 @@ func (j *Journal) Entries() []Entry {
 	j.mu.Lock()
 	out := append([]Entry(nil), j.entries...)
 	j.mu.Unlock()
+	sortEntries(out)
+	return out
+}
+
+func sortEntries(out []Entry) {
 	sort.Slice(out, func(a, b int) bool {
 		ua, ub := out[a].Unit, out[b].Unit
 		if ua.Experiment != ub.Experiment {
@@ -211,39 +364,39 @@ func (j *Journal) Entries() []Entry {
 		}
 		return ua.Spec < ub.Spec
 	})
-	return out
 }
 
 // Flush persists the journal: the complete contents are written to a
-// temporary file next to the destination and renamed into place, so a
-// crash mid-write can never corrupt an existing journal. No-op for
-// in-memory journals.
+// temporary file next to the destination, fsynced, renamed into place,
+// and the parent directory is fsynced so the rename itself is durable —
+// a crash at any instant leaves either the old complete journal or the
+// new complete journal on disk. No-op for in-memory journals. In append
+// mode the backing handle is reopened onto the renamed file (the rename
+// replaced the inode the old handle pointed at).
 func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.path == "" {
 		return nil
 	}
-	entries := j.Entries()
+	entries := append([]Entry(nil), j.entries...)
+	sortEntries(entries)
 	dir := filepath.Dir(j.path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: creating temp journal: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	w := bufio.NewWriter(tmp)
-	if _, err := fmt.Fprintf(w, "{\"schema\":%q}\n", schema); err != nil {
+	if _, err := fmt.Fprintf(tmp, "{\"schema\":%q}\n", schema); err != nil {
 		tmp.Close()
 		return fmt.Errorf("checkpoint: writing journal: %w", err)
 	}
-	enc := json.NewEncoder(w)
+	enc := json.NewEncoder(tmp)
 	for _, e := range entries {
 		if err := enc.Encode(e); err != nil {
 			tmp.Close()
 			return fmt.Errorf("checkpoint: writing journal: %w", err)
 		}
-	}
-	if err := w.Flush(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("checkpoint: writing journal: %w", err)
 	}
 	// Sync before the rename: the rename must never become visible ahead
 	// of the data it points at.
@@ -256,6 +409,24 @@ func (j *Journal) Flush() error {
 	}
 	if err := os.Rename(tmp.Name(), j.path); err != nil {
 		return fmt.Errorf("checkpoint: publishing journal: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	if j.f != nil {
+		// The rename orphaned the inode behind the append handle; reopen
+		// onto the published file and continue appending at its end.
+		old := j.f
+		f, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("checkpoint: reopening journal after flush: %w", err)
+		}
+		if _, err := f.Seek(0, 2); err != nil {
+			f.Close()
+			return fmt.Errorf("checkpoint: seeking reopened journal: %w", err)
+		}
+		j.f = f
+		old.Close()
 	}
 	return nil
 }

@@ -143,6 +143,161 @@ func TestOpenRejectsCorruptJournal(t *testing.T) {
 	}
 }
 
+// TestTruncatedTailIsUncommittedTrial is the corruption-injection test
+// for crash-mid-append: a final line without a trailing newline that does
+// not parse must be dropped as an uncommitted trial, while every
+// terminated line before it survives. Corruption anywhere else stays a
+// hard error (see TestOpenRejectsCorruptJournal).
+func TestTruncatedTailIsUncommittedTrial(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	j, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.RecordDurable(unit("E03", 0, i), Result{Completed: true, Time: 10 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inject the crash: chop the file mid-way through the last line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(data) - 9 // inside the final entry's JSON, newline gone
+	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatalf("truncated tail must not be fatal: %v", err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reloaded %d entries, want 2 (tail dropped)", re.Len())
+	}
+	if _, ok := re.Lookup(unit("E03", 0, 2)); ok {
+		t.Error("the torn trial must read as uncommitted")
+	}
+
+	// OpenAppend must clear the partial tail so the next append starts on
+	// a clean line boundary — the re-run of the torn trial lands exactly
+	// where the torn record was.
+	ja, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ja.RecordDurable(unit("E03", 0, 2), Result{Completed: true, Time: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ja.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Len() != 3 {
+		t.Fatalf("repaired journal has %d entries, want 3", final.Len())
+	}
+	if got, ok := final.Lookup(unit("E03", 0, 2)); !ok || got.Time != 12 {
+		t.Errorf("re-recorded trial = %+v, %v", got, ok)
+	}
+}
+
+// TestTruncatedHeaderIsEmptyJournal: a crash while the header itself was
+// being written leaves zero committed work — the journal loads empty.
+func TestTruncatedHeaderIsEmptyJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	if err := os.WriteFile(path, []byte(`{"sche`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(path)
+	if err != nil {
+		t.Fatalf("torn header must read as empty, got %v", err)
+	}
+	if j.Len() != 0 {
+		t.Errorf("Len = %d, want 0", j.Len())
+	}
+	// And OpenAppend must be able to rebuild it from scratch.
+	ja, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ja.RecordDurable(unit("E03", 0, 0), Result{Completed: true, Time: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ja.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 1 {
+		t.Errorf("rebuilt journal has %d entries, want 1", re.Len())
+	}
+}
+
+// TestAppendSurvivesReload: RecordDurable commits each unit on its own;
+// no Flush required for the units to be visible to a reloading process.
+func TestAppendSurvivesReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Result{Completed: true, Time: 42, CZTime: 7, SuburbLag: 35, Informed: 9, N: 9}
+	if err := j.RecordDurable(unit("E03", 1, 0), want); err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately no Flush, no Close: simulate SIGKILL by reloading now.
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := re.Lookup(unit("E03", 1, 0)); !ok || got != want {
+		t.Fatalf("Lookup after reload = %+v, %v; want %+v", got, ok, want)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlushKeepsAppendHandleUsable: a rewrite-style Flush in append mode
+// replaces the inode; subsequent appends must land in the published file.
+func TestFlushKeepsAppendHandleUsable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordDurable(unit("E03", 0, 0), Result{Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordDurable(unit("E03", 0, 1), Result{Time: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (post-flush append lost?)", re.Len())
+	}
+}
+
 func TestRerecordOverwrites(t *testing.T) {
 	j := New()
 	u := unit("E03", 0, 0)

@@ -162,6 +162,15 @@ func floodTrialsOpt(cfg Config, exp string, point int, p sim.Params, factory sim
 			exp, point, abandoned, trials, cfg.canceled())
 	}
 
+	aggregateOutcomes(&agg, outcomes)
+	return agg, nil
+}
+
+// aggregateOutcomes folds per-trial results into the point aggregate.
+// This is THE aggregation — floodTrials and AggregateSweep both call it,
+// so a sweep assembled cell-by-cell from a journal is byte-identical to
+// one the in-process runner produced.
+func aggregateOutcomes(agg *floodPoint, outcomes []trialOutcome) {
 	var times, czs, lags []float64
 	for _, o := range outcomes {
 		if !o.res.Completed {
@@ -185,7 +194,6 @@ func floodTrialsOpt(cfg Config, exp string, point int, p sim.Params, factory sim
 	if len(lags) > 0 {
 		agg.Lag, _ = stats.Summarize(lags)
 	}
-	return agg, nil
 }
 
 // trialOutcome is one trial's flooding result or error; abandoned marks

@@ -3,8 +3,10 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 
+	"manhattanflood/internal/checkpoint"
 	"manhattanflood/internal/sim"
 )
 
@@ -62,6 +64,90 @@ func sweepSource(name string) (sourceKind, error) {
 	}
 }
 
+// Validate reports whether the spec describes a runnable sweep. RunSweep,
+// the cell runner, and the sweep service all enforce it, so a malformed
+// spec is rejected identically at every entry point.
+func (s SweepSpec) Validate() error {
+	if _, err := sweepSource(s.Source); err != nil {
+		return err
+	}
+	switch s.Param {
+	case "r", "v", "n":
+	default:
+		return fmt.Errorf("unknown param %q (want r, v, or n)", s.Param)
+	}
+	if len(s.Values) == 0 {
+		return errors.New("sweep needs at least one value")
+	}
+	if s.Trials <= 0 {
+		return errors.New("sweep needs at least one trial per point")
+	}
+	return nil
+}
+
+// Experiment returns the sweep's journal/diagnostic identifier
+// ("sweep/<param>") — the same key RunSweep records trials under, so a
+// journal written by either runner satisfies the other.
+func (s SweepSpec) Experiment() string { return "sweep/" + s.Param }
+
+// Points returns the number of parameter points in the sweep.
+func (s SweepSpec) Points() int { return len(s.Values) }
+
+// Cells returns the total number of (point, trial) work units.
+func (s SweepSpec) Cells() int { return len(s.Values) * s.Trials }
+
+// pointParams materializes the world parameters of point i: the swept
+// axis takes Values[i], the others stay fixed, and L follows the paper's
+// standard L = sqrt(n).
+func (s SweepSpec) pointParams(i int) sim.Params {
+	cn, cr, cv := s.N, s.R, s.V
+	switch s.Param {
+	case "r":
+		cr = s.Values[i]
+	case "v":
+		cv = s.Values[i]
+	case "n":
+		cn = int(s.Values[i])
+	}
+	l := math.Sqrt(float64(cn))
+	return sim.Params{N: cn, L: l, R: cr, V: cv, Seed: s.Seed}
+}
+
+// Unit returns the checkpoint identity of one (point, trial) cell —
+// byte-for-byte the unit RunSweep's trial runner records, so external
+// schedulers (the sweep service) and the in-process runner share
+// journals.
+func (s SweepSpec) Unit(point, trial int) checkpoint.Unit {
+	p := s.pointParams(point)
+	src, _ := sweepSource(s.Source)
+	return checkpoint.Unit{
+		Experiment: s.Experiment(),
+		Point:      point,
+		Trial:      trial,
+		Seed:       trialSeed(p.Seed, trial),
+		Spec:       trialSpec(p, s.MaxSteps, src, true),
+	}
+}
+
+// point converts an aggregated floodPoint into the sweep row for point i.
+// Both RunSweep and AggregateSweep go through it, which is what makes a
+// cell-at-a-time sweep (the service) aggregate byte-identically to the
+// in-process runner.
+func (s SweepSpec) point(i int, fp floodPoint) SweepPoint {
+	p := s.pointParams(i)
+	return SweepPoint{
+		Value:      s.Values[i],
+		MeanT:      fp.T.Mean,
+		CI95:       fp.T.CI95,
+		CZTime:     fp.CZ.Mean,
+		SuburbLag:  fp.Lag.Mean,
+		LOverR:     p.L / p.R,
+		SecondTerm: secondPhaseScale(p.N, p.L, p.R, p.V),
+		Completed:  fp.Completed,
+		Trials:     s.Trials,
+	}
+}
+
 // RunSweep runs the sweep through the crash-safe trial runner. Each point
 // is keyed "sweep/<param>" with its index into Values, so an attached
 // cfg.Journal checkpoints completed trials and a resumed run replays them
@@ -72,40 +158,18 @@ func sweepSource(name string) (sourceKind, error) {
 // return the partial result alongside the error.
 func RunSweep(cfg Config, spec SweepSpec) (SweepResult, error) {
 	var res SweepResult
-	src, err := sweepSource(spec.Source)
-	if err != nil {
+	if err := spec.Validate(); err != nil {
 		return res, err
 	}
-	switch spec.Param {
-	case "r", "v", "n":
-	default:
-		return res, fmt.Errorf("unknown param %q (want r, v, or n)", spec.Param)
-	}
-	if len(spec.Values) == 0 {
-		return res, errors.New("sweep needs at least one value")
-	}
-	if spec.Trials <= 0 {
-		return res, errors.New("sweep needs at least one trial per point")
-	}
-	exp := "sweep/" + spec.Param
+	src, _ := sweepSource(spec.Source)
+	exp := spec.Experiment()
 
 	for i, val := range spec.Values {
 		if err := cfg.canceled(); err != nil {
 			return res, err
 		}
-		cn, cr, cv := spec.N, spec.R, spec.V
-		switch spec.Param {
-		case "r":
-			cr = val
-		case "v":
-			cv = val
-		case "n":
-			cn = int(val)
-		}
-		l := math.Sqrt(float64(cn))
 		sp := SweepPoint{Value: val, Trials: spec.Trials}
-		point, err := floodTrials(cfg, exp, i,
-			sim.Params{N: cn, L: l, R: cr, V: cv, Seed: spec.Seed},
+		point, err := floodTrials(cfg, exp, i, spec.pointParams(i),
 			nil, spec.Trials, spec.MaxSteps, src, true)
 		if err != nil {
 			var pe *PanicError
@@ -117,14 +181,28 @@ func RunSweep(cfg Config, spec SweepSpec) (SweepResult, error) {
 			}
 			return res, err
 		}
-		sp.MeanT = point.T.Mean
-		sp.CI95 = point.T.CI95
-		sp.CZTime = point.CZ.Mean
-		sp.SuburbLag = point.Lag.Mean
-		sp.LOverR = l / cr
-		sp.SecondTerm = secondPhaseScale(cn, l, cr, cv)
-		sp.Completed = point.Completed
-		res.Points = append(res.Points, sp)
+		res.Points = append(res.Points, spec.point(i, point))
 	}
 	return res, nil
+}
+
+// WriteTSV renders the sweep as the canonical TSV table (the format
+// cmd/sweep has always printed and the service's result endpoint serves):
+// a header line, then one row per successful point. Failed points are
+// skipped here — the caller reports their errors on its own channel.
+func (r SweepResult) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "value\tmeanT\tci95\tczTime\tsuburbLag\tL_over_R\tsecondTerm\tcompleted"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if p.Err != nil {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%d/%d\n",
+			p.Value, p.MeanT, p.CI95, p.CZTime, p.SuburbLag, p.LOverR,
+			p.SecondTerm, p.Completed, p.Trials); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -15,7 +15,11 @@
 //     sim.World.syncIndex onto the full counting-sort rebuild) —
 //     exercising the rebuild/delta bit-identity contract mid-run;
 //   - artificial worker stalls (the WorkerStall hook sleeping) —
-//     exercising drain/cancellation behavior under slow shards.
+//     exercising drain/cancellation behavior under slow shards;
+//   - stalled or poisoned service jobs (the JobDispatch hook sleeping or
+//     panicking on the sweep service's dispatch path) — exercising the
+//     watchdog's stall detection and per-job panic isolation in
+//     internal/service.
 //
 // Hooks are registered programmatically by tests (see Set* in the tagged
 // build); the layer deliberately has no environment-variable surface, so

@@ -15,3 +15,6 @@ func FireWorkerStall(shard int) {}
 
 // FireIndexSyncBail never forces a rebuild in the default build.
 func FireIndexSyncBail() bool { return false }
+
+// FireJobDispatch is a no-op in the default build.
+func FireJobDispatch(jobID string, point, trial int) {}

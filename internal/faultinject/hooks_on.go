@@ -13,10 +13,11 @@ const Active = true
 // build, and the lock is copied out before the hook body runs so a hook
 // that itself panics cannot leave the registry locked.
 var registry struct {
-	mu         sync.Mutex
-	trialStart func(Trial)
-	stall      func(shard int)
-	indexBail  func() bool
+	mu          sync.Mutex
+	trialStart  func(Trial)
+	stall       func(shard int)
+	indexBail   func() bool
+	jobDispatch func(jobID string, point, trial int)
 }
 
 // SetTrialStart arms f to run at the start of every trial, inside the
@@ -47,12 +48,24 @@ func SetIndexSyncBail(f func() bool) {
 	registry.mu.Unlock()
 }
 
+// SetJobDispatch arms f to run on the sweep service's worker goroutine
+// immediately before a dispatched (job, point, trial) cell executes —
+// the server-layer fault site. A sleeping f simulates a stalled trial
+// (exercising the watchdog); a panicking f simulates a poisoned job
+// (exercising per-job panic isolation). nil disarms.
+func SetJobDispatch(f func(jobID string, point, trial int)) {
+	registry.mu.Lock()
+	registry.jobDispatch = f
+	registry.mu.Unlock()
+}
+
 // Reset disarms every hook; fault-injection tests defer it.
 func Reset() {
 	registry.mu.Lock()
 	registry.trialStart = nil
 	registry.stall = nil
 	registry.indexBail = nil
+	registry.jobDispatch = nil
 	registry.mu.Unlock()
 }
 
@@ -73,6 +86,16 @@ func FireWorkerStall(shard int) {
 	registry.mu.Unlock()
 	if f != nil {
 		f(shard)
+	}
+}
+
+// FireJobDispatch runs the armed job-dispatch hook, if any.
+func FireJobDispatch(jobID string, point, trial int) {
+	registry.mu.Lock()
+	f := registry.jobDispatch
+	registry.mu.Unlock()
+	if f != nil {
+		f(jobID, point, trial)
 	}
 }
 

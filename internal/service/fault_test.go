@@ -1,0 +1,174 @@
+//go:build faultinject
+
+// Service-layer fault-injection suite (the `make test-service` fault
+// leg): the JobDispatch hook stalls or panics on the scheduler's dispatch
+// path and the robustness contract is asserted — the watchdog fails
+// exactly the stalled job and replaces the wedged worker, and a poisoned
+// job fails alone while sibling tenants' sweeps complete unaffected.
+package service
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"manhattanflood/internal/faultinject"
+)
+
+// TestWatchdogFailsStalledJobOnly: a trial wedged past StallTimeout fails
+// its own job with a watchdog error naming the cell; the sibling job
+// completes with correct results, and the pool still has capacity
+// afterwards (the abandoned worker was replaced).
+func TestWatchdogFailsStalledJobOnly(t *testing.T) {
+	defer faultinject.Reset()
+	stalled := testSpec()
+	stalled.Seed = 21
+	stalled.Tenant = "stuck"
+	sibling := testSpec()
+	sibling.Seed = 22
+	sibling.Tenant = "fine"
+
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	faultinject.SetJobDispatch(func(jobID string, point, trial int) {
+		if jobID == stalled.ID() {
+			// Wedge this worker until the test ends; only the watchdog
+			// can get the job unstuck.
+			<-release
+		}
+	})
+
+	s := newScheduler(t, Config{Workers: 2, StallTimeout: 100 * time.Millisecond})
+	vs, _, err := s.Submit(stalled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vf, _, err := s.Submit(sibling)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs := waitState(t, s, vs.ID)
+	if fs.State != StateFailed || !strings.Contains(fs.Error, "watchdog") || !strings.Contains(fs.Error, "stalled") {
+		t.Fatalf("stalled job: state=%s err=%q, want watchdog failure", fs.State, fs.Error)
+	}
+	if ff := waitState(t, s, vf.ID); ff.State != StateCompleted {
+		t.Fatalf("sibling: state=%s err=%q, want completed", ff.State, ff.Error)
+	}
+	want := directResult(t, sibling)
+	if got, _ := s.Result(vf.ID); !reflect.DeepEqual(got, want) {
+		t.Fatalf("sibling result corrupted by the stall")
+	}
+
+	// Replacement workers keep the pool at size: new work still runs even
+	// though the original workers may all be wedged on the stalled job's
+	// first cells.
+	later := testSpec()
+	later.Seed = 23
+	vl, _, err := s.Submit(later)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl := waitState(t, s, vl.ID); fl.State != StateCompleted {
+		t.Fatalf("post-stall job: state=%s err=%q, want completed", fl.State, fl.Error)
+	}
+}
+
+// TestPanicPoisonsOnlyItsJob: an injected panic on the dispatch path
+// fails that job with a diagnosable error carrying the cell coordinates;
+// sibling jobs from other tenants complete byte-identically to a clean
+// run, and the scheduler keeps serving.
+func TestPanicPoisonsOnlyItsJob(t *testing.T) {
+	defer faultinject.Reset()
+	poisoned := testSpec()
+	poisoned.Seed = 31
+	poisoned.Tenant = "bad"
+	sibling := testSpec()
+	sibling.Seed = 32
+	sibling.Tenant = "good"
+
+	faultinject.SetJobDispatch(func(jobID string, point, trial int) {
+		if jobID == poisoned.ID() && point == 1 && trial == 2 {
+			panic("injected dispatch fault")
+		}
+	})
+
+	s := newScheduler(t, Config{Workers: 2})
+	vp, _, err := s.Submit(poisoned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg, _, err := s.Submit(sibling)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fp := waitState(t, s, vp.ID)
+	if fp.State != StateFailed ||
+		!strings.Contains(fp.Error, "injected dispatch fault") ||
+		!strings.Contains(fp.Error, "point=1") || !strings.Contains(fp.Error, "trial=2") {
+		t.Fatalf("poisoned job: state=%s err=%q, want failure naming the cell", fp.State, fp.Error)
+	}
+	if fg := waitState(t, s, vg.ID); fg.State != StateCompleted {
+		t.Fatalf("sibling: state=%s err=%q, want completed", fg.State, fg.Error)
+	}
+	faultinject.Reset()
+	want := directResult(t, sibling)
+	if got, _ := s.Result(vg.ID); !reflect.DeepEqual(got, want) {
+		t.Fatalf("sibling result corrupted by the panic")
+	}
+
+	// The scheduler is still healthy: a clean resubmission of the same
+	// compute content dedups onto the failed job (terminal), but fresh
+	// work runs fine.
+	fresh := testSpec()
+	fresh.Seed = 33
+	vf, _, err := s.Submit(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff := waitState(t, s, vf.ID); ff.State != StateCompleted {
+		t.Fatalf("post-panic job: state=%s err=%q, want completed", ff.State, ff.Error)
+	}
+}
+
+// TestTrialPanicInsideRunnerAlsoIsolates: a panic inside the trial body
+// (the experiments-layer TrialStart hook, not the dispatch hook) surfaces
+// through CellRunner as a structured error and fails only that job.
+func TestTrialPanicInsideRunnerAlsoIsolates(t *testing.T) {
+	defer faultinject.Reset()
+	poisoned := testSpec()
+	poisoned.Seed = 41
+	sibling := testSpec()
+	sibling.Seed = 42
+
+	faultinject.SetTrialStart(func(tr faultinject.Trial) {
+		if tr.Experiment == poisoned.sweep().Experiment() && tr.Seed == trialSeedFor(poisoned, 0) {
+			panic("injected trial fault")
+		}
+	})
+
+	s := newScheduler(t, Config{Workers: 2})
+	vp, _, err := s.Submit(poisoned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg, _, err := s.Submit(sibling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp := waitState(t, s, vp.ID); fp.State != StateFailed || !strings.Contains(fp.Error, "injected trial fault") {
+		t.Fatalf("poisoned job: state=%s err=%q", fp.State, fp.Error)
+	}
+	if fg := waitState(t, s, vg.ID); fg.State != StateCompleted {
+		t.Fatalf("sibling: state=%s err=%q", fg.State, fg.Error)
+	}
+}
+
+// trialSeedFor mirrors the trial runner's per-trial seed derivation for
+// hook targeting.
+func trialSeedFor(spec JobSpec, trial int) uint64 {
+	spec.normalize()
+	return spec.sweep().Unit(0, trial).Seed
+}
