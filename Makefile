@@ -9,13 +9,14 @@ GO ?= go
 GOTAGS ?=
 TAGFLAG = $(if $(GOTAGS),-tags $(GOTAGS))
 
-.PHONY: ci ci-purego check fmt vet build test test-race test-fault test-service bench bench-allocs bench-json bench-compare docs clean clean-check
+.PHONY: ci ci-purego check fmt vet build test test-race cover fuzz-short test-fault test-service bench bench-allocs bench-json bench-compare docs clean clean-check
 
 # ci is the full local tier-1 gate: the hardware-independent checks plus
-# the fault-injection suite, the timing smoke run and the ns/op
-# regression gate against the committed trajectory file (which
-# self-disables on non-comparable hardware; see bench-compare).
-ci: check test-fault test-service bench bench-compare
+# the fault-injection suite, a short fuzz run beyond the committed seed
+# corpora, the timing smoke run and the ns/op regression gate against
+# the committed trajectory file (which self-disables on non-comparable
+# hardware; see bench-compare).
+ci: check test-fault test-service fuzz-short bench bench-compare
 
 # ci-purego is the fallback-path leg of the matrix: the same
 # hardware-independent gate with the assembly kernel compiled out.
@@ -28,7 +29,7 @@ ci-purego:
 # bit-identical), the race-detector pass over the parallel-merge
 # packages, the zero-allocation gate over the hot loops, and the docs
 # gate.
-check: fmt vet build test test-race bench-allocs docs
+check: fmt vet build test test-race cover bench-allocs docs
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -47,10 +48,32 @@ test:
 
 # test-race runs the race detector over the packages whose property tests
 # exercise the parallel shard merges (flood sweep, chaining BFS levels,
-# parallel agent stepping) — exactly where an unsynchronized read would
-# hide behind deterministic output.
+# parallel agent stepping, parallel population stepping with the fused
+# classify writing the shared cells buffer) — exactly where an
+# unsynchronized read would hide behind deterministic output.
 test-race:
-	$(GO) test $(TAGFLAG) -race ./internal/core ./internal/sim
+	$(GO) test $(TAGFLAG) -race ./internal/core ./internal/sim ./internal/mobility/... ./internal/spatialindex
+
+# cover enforces the coverage floor on the mobility layer: the SoA
+# populations duplicate every model's stepping logic, so untested lines
+# there are exactly where AoS/SoA divergence would hide. The profile
+# merges package mobility's own tests with the soatest differential
+# harness (-coverpkg crosses the package boundary).
+MOBILITY_COVER_FLOOR = 80.0
+cover:
+	@$(GO) test $(TAGFLAG) -coverpkg=./internal/mobility -coverprofile=/tmp/mobility_cover.out ./internal/mobility/... > /dev/null
+	@total=$$($(GO) tool cover -func=/tmp/mobility_cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "internal/mobility coverage: $$total% (floor $(MOBILITY_COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(MOBILITY_COVER_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || \
+		{ echo "coverage below floor"; exit 1; }
+
+# fuzz-short runs each differential fuzzer briefly past its committed
+# seed corpus — a cheap randomized sweep for kernel-vs-reference
+# divergence on every full ci run; `go test -fuzz <name>` without
+# -fuzztime searches indefinitely.
+fuzz-short:
+	$(GO) test $(TAGFLAG) -run '^$$' -fuzz FuzzBucketsDifferential -fuzztime 15s ./internal/kernel/
+	$(GO) test $(TAGFLAG) -run '^$$' -fuzz FuzzMaskDifferential -fuzztime 15s ./internal/kernel/
 
 # FAULTTAGS appends the faultinject tag to the active variant, so the
 # fault suite can run against either kernel build.
@@ -83,7 +106,7 @@ test-service:
 # bench runs the micro-benchmarks briefly — a smoke test that the hot loops
 # still run allocation-free, not a measurement.
 bench:
-	$(GO) test $(TAGFLAG) -run '^$$' -bench 'WorldStep10k|FloodStep4k$$|IndexRebuild10k|IndexNeighbors10k' -benchtime 100x -benchmem .
+	$(GO) test $(TAGFLAG) -run '^$$' -bench 'WorldStep10k|MobilityAdvance10k|FloodStep4k$$|IndexRebuild10k|IndexNeighbors10k' -benchtime 100x -benchmem .
 
 # bench-allocs is the hardware-independent allocation gate: the steady
 # state of every hot loop (world step, plain/chained flood step, KGossip
@@ -95,7 +118,7 @@ bench-allocs:
 # BENCH_BASELINE is the benchmark trajectory file bench-json writes and
 # bench-compare diffs against; the committed default was recorded on the
 # reference machine (see its go_version/gomaxprocs/cpu_model header).
-BENCH_BASELINE ?= BENCH_5.json
+BENCH_BASELINE ?= BENCH_6.json
 
 # bench-json regenerates the benchmark trajectory file. Baselines are
 # median-of-3 like the gate itself, so a descheduled single sample can

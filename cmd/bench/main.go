@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_5.json] [-compare OLD.json] [-k N] [-allocs]
+//	bench [-out BENCH_6.json] [-compare OLD.json] [-k N] [-allocs]
 //
 // Each entry reports ns/op, B/op and allocs/op as measured by
 // testing.Benchmark. With -k > 1 every benchmark is measured k times and
@@ -16,11 +16,16 @@
 // in both whose median ns/op regressed by more than 20% fails the run
 // (non-zero exit), which is the CI regression gate (`make ci`). The
 // committed BENCH_1.json carries the seed engine's numbers as
-// baseline_ns_per_op; BENCH_2.json is the SoA-engine trajectory,
+// baseline_ns_per_op; BENCH_2.json is the SoA-positions trajectory,
 // BENCH_3.json the delta-index one, BENCH_4.json the
-// dirty-driven-flooding one, and BENCH_5.json — the vectorized
-// distance-kernel trajectory — is what the gate compares against by
-// default.
+// dirty-driven-flooding one, BENCH_5.json the vectorized
+// distance-kernel one, and BENCH_6.json — the SoA mobility-state
+// trajectory with the fused advance→classify pass — is what the gate
+// compares against by default. The world_step_10k_soa /
+// world_step_10k_aos pair records the same world stepped with and
+// without the population capability, so the SoA win stays measurable
+// after the baseline advances; mobility_advance_10k isolates the raw
+// Population.StepRange kinematics without any index work.
 //
 // # Hardware comparability
 //
@@ -61,6 +66,7 @@ import (
 	"manhattanflood/internal/experiments"
 	"manhattanflood/internal/geom"
 	"manhattanflood/internal/kernel"
+	"manhattanflood/internal/mobility"
 	"manhattanflood/internal/sim"
 	"manhattanflood/internal/spatialindex"
 )
@@ -130,7 +136,7 @@ var baselines = map[string]float64{
 const maxRegression = 1.20
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output JSON path")
+	out := flag.String("out", "BENCH_6.json", "output JSON path")
 	compare := flag.String("compare", "", "previously committed BENCH_N.json to diff against; >20% ns/op regressions exit non-zero")
 	k := flag.Int("k", 0, "runs per benchmark; the reported number is the median run (0 = auto: 3 with -compare, else 1)")
 	allocs := flag.Bool("allocs", false, "run the hardware-independent zero-allocation gate instead of the timing benchmarks")
@@ -159,6 +165,9 @@ func main() {
 		fn   func(b *testing.B)
 	}{
 		{"world_step_10k", benchWorldStep(10000)},
+		{"world_step_10k_soa", benchWorldStepSoA(10000)},
+		{"world_step_10k_aos", benchWorldStepAoS(10000)},
+		{"mobility_advance_10k", benchMobilityAdvance(10000)},
 		{"flood_step_4k", benchFloodStep(4000, false)},
 		{"flood_step_4k_chained", benchFloodStep(4000, true)},
 		{"flood_step_20k", benchFloodStep(20000, false)},
@@ -348,6 +357,79 @@ func benchWorldStep(n int) func(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			w.Step()
+		}
+	}
+}
+
+// benchWorldStepSoA is world_step_10k with the population path asserted:
+// since the SoA mobility layer became the default engine the two entries
+// measure the same loop, but this one fails loudly if the default world
+// ever silently falls back to AoS stepping.
+func benchWorldStepSoA(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		w, err := sim.NewWorld(sim.Params{N: n, L: 100, R: 4, V: 0.3, Seed: 1}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if w.Population() == nil {
+			b.Fatal("default world should step a population")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Step()
+		}
+	}
+}
+
+// hideBulk strips a model down to the bare Model interface (embedded
+// interfaces promote only the interface's own methods), hiding
+// NewPopulation so the world takes the AoS fallback: per-agent interface
+// calls and a separate classify sweep inside the index.
+type hideBulk struct{ mobility.Model }
+
+// benchWorldStepAoS is the array-of-structs ablation of world_step_10k:
+// identical trajectories, old data layout. The gap to world_step_10k_soa
+// is the SoA + fused-classify win on the current code.
+func benchWorldStepAoS(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		factory := func(cfg mobility.Config) (mobility.Model, error) {
+			m, err := mobility.NewMRWP(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return hideBulk{m}, nil
+		}
+		w, err := sim.NewWorld(sim.Params{N: n, L: 100, R: 4, V: 0.3, Seed: 1}, factory)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if w.Population() != nil {
+			b.Fatal("ablation world must not step a population")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Step()
+		}
+	}
+}
+
+// benchMobilityAdvance measures the raw SoA mobility advance — n MRWP
+// agents through Population.StepRange with no index or classify work:
+// the pure kinematics cost the world step builds on.
+func benchMobilityAdvance(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		model, err := mobility.NewMRWP(mobility.Config{L: 100, V: 0.3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pop := mobility.BulkStepper(model).NewPopulation(n)
+		pop.Bind(mobility.View{X: make([]float64, n), Y: make([]float64, n)})
+		for i := 0; i < n; i++ {
+			pop.InitAgent(i, rand.New(rand.NewPCG(1, uint64(i))))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pop.StepRange(0, n)
 		}
 	}
 }

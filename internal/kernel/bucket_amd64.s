@@ -1,0 +1,54 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func bucketsAVX2(dst *int32, xs, ys *float64, invR, cm1 float64, cols int32, n int)
+//
+// Writes n bucket ids to dst: dst[k] = clamp(trunc(ys[k]*invR))*cols +
+// clamp(trunc(xs[k]*invR)), clamped to [0, cols-1] per coordinate. n
+// must be a positive multiple of 4 and cm1 must equal float64(cols-1).
+//
+// Four lanes per iteration. The clamp happens in the float domain before
+// the truncating conversion, exactly as in the pure-Go reference:
+// VMAXPD against +0 maps negatives, signed zeros AND NaN to +0 (MAXPD
+// returns its second source when either operand is NaN, and we pass the
+// zero vector second), VMINPD against cm1 maps the top column, +Inf and
+// overflow to cm1, and the remaining VCVTTPD2DQ always sees a value in
+// [0, cols-1] where it agrees bit-for-bit with Go's int32 conversion.
+// The bucket combine is VPMULLD/VPADDD — 32-bit wraparound arithmetic,
+// identical to Go's int32 multiply-add.
+TEXT ·bucketsAVX2(SB), NOSPLIT, $0-56
+	MOVQ         dst+0(FP), DI
+	MOVQ         xs+8(FP), SI
+	MOVQ         ys+16(FP), DX
+	VBROADCASTSD invR+24(FP), Y0
+	VBROADCASTSD cm1+32(FP), Y1
+	VXORPD       Y2, Y2, Y2      // +0.0 in every lane
+	MOVL         cols+40(FP), R8
+	VMOVD        R8, X7
+	VPBROADCASTD X7, X7          // cols in every int32 lane
+	MOVQ         n+48(FP), BX
+
+	XORQ AX, AX // lane cursor
+
+lanes:
+	VMOVUPD     (SI)(AX*8), Y3
+	VMOVUPD     (DX)(AX*8), Y4
+	VMULPD      Y0, Y3, Y3     // fx = x * invR
+	VMULPD      Y0, Y4, Y4     // fy = y * invR
+	VMAXPD      Y2, Y3, Y3     // !(f > 0) -> +0, NaN included
+	VMAXPD      Y2, Y4, Y4
+	VMINPD      Y1, Y3, Y3     // !(f < cm1) -> cm1, +Inf included
+	VMINPD      Y1, Y4, Y4
+	VCVTTPD2DQY Y3, X3         // cx, four int32
+	VCVTTPD2DQY Y4, X4         // cy, four int32
+	VPMULLD     X7, X4, X4     // cy * cols
+	VPADDD      X3, X4, X4     // + cx
+	VMOVDQU     X4, (DI)
+	ADDQ        $16, DI
+	ADDQ        $4, AX
+	CMPQ        AX, BX
+	JL          lanes
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,194 @@
+package kernel
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// refBucketCoord is an independently-written scalar oracle for the
+// classify semantics, deliberately phrased with math.IsNaN/Trunc instead
+// of the production code's ordered comparisons so a shared bug can't
+// hide in both.
+func refBucketCoord(v, invR float64, cols int32) int32 {
+	f := v * invR
+	if math.IsNaN(f) || f <= 0 {
+		return 0
+	}
+	if f >= float64(cols-1) {
+		return cols - 1
+	}
+	return int32(math.Trunc(f)) // 0 < f < cols-1: in int32 range
+}
+
+// refBuckets computes every bucket id with the oracle only.
+func refBuckets(xs, ys []float64, invR float64, cols int32) []int32 {
+	dst := make([]int32, len(xs))
+	for k := range xs {
+		dst[k] = refBucketCoord(ys[k], invR, cols)*cols + refBucketCoord(xs[k], invR, cols)
+	}
+	return dst
+}
+
+// randBucketSpan draws n coordinates in [-l/4, l), with a fraction of
+// lanes replaced by adversarial values: NaN, +/-Inf, negatives, huge
+// finite magnitudes, and boundary-exact multiples of the bucket side
+// (drawn so v*invR is an exact integer, the truncation knife edge).
+func randBucketSpan(rng *rand.Rand, n int, l, invR float64) (xs, ys []float64) {
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	draw := func() float64 {
+		switch rng.IntN(12) {
+		case 0:
+			return math.NaN()
+		case 1:
+			return math.Inf(1)
+		case 2:
+			return math.Inf(-1)
+		case 3:
+			return -rng.Float64() * l
+		case 4:
+			return 1e300
+		case 5, 6:
+			// Boundary-exact: with invR a power of two, k/invR is exact
+			// and (k/invR)*invR == k exactly.
+			return float64(rng.IntN(int(l*invR)+2)) / invR
+		default:
+			return rng.Float64() * l
+		}
+	}
+	for i := range xs {
+		xs[i], ys[i] = draw(), draw()
+	}
+	return xs, ys
+}
+
+// TestBucketsMatchReference pins the active path (AVX2 where available)
+// bit-identical to the independent oracle on randomized spans of every
+// length shape — empty, sub-vector, unaligned tails, chunk boundaries —
+// with adversarial lanes and a poisoned destination.
+func TestBucketsMatchReference(t *testing.T) {
+	t.Logf("kernel path: %s (hasAVX2=%v)", Path(), HasAVX2())
+	rng := rand.New(rand.NewPCG(11, 0xbeef))
+	lengths := []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129, 255, 256, 1000}
+	for _, n := range lengths {
+		for trial := 0; trial < 20; trial++ {
+			l := 100.0
+			invR := 0.25 // power of two: admits boundary-exact lanes
+			cols := int32(25)
+			if trial%3 == 0 {
+				invR = rng.Float64() * 2
+				cols = int32(1 + rng.IntN(40))
+			}
+			xs, ys := randBucketSpan(rng, n, l, invR)
+			want := refBuckets(xs, ys, invR, cols)
+			got := make([]int32, n+4) // 4 poison lanes past the end
+			for i := range got {
+				got[i] = math.MinInt32
+			}
+			Buckets(got[:n], xs, ys, invR, cols)
+			for k := 0; k < n; k++ {
+				if got[k] != want[k] {
+					t.Fatalf("n=%d trial=%d lane %d: active path %d != oracle %d (x=%v y=%v invR=%v cols=%d path=%s)",
+						n, trial, k, got[k], want[k], xs[k], ys[k], invR, cols, Path())
+				}
+				if scalar := BucketOf(xs[k], ys[k], invR, cols); scalar != want[k] {
+					t.Fatalf("n=%d trial=%d lane %d: BucketOf %d != oracle %d", n, trial, k, scalar, want[k])
+				}
+			}
+			for k := n; k < n+4; k++ {
+				if got[k] != math.MinInt32 {
+					t.Fatalf("n=%d trial=%d: Buckets wrote past lane %d: %d", n, trial, n-1, got[k])
+				}
+			}
+		}
+	}
+}
+
+// TestBucketCoordLegacyEquivalence pins the compatibility half of the
+// classify contract: for every coordinate whose scaled value stays below
+// 2^63 — all simulator positions, plus NaN, -Inf and arbitrarily
+// negative values — BucketCoord returns exactly what spatialindex's
+// historical clampCol(int(v*invR)) formula returned, so index state
+// built from precomputed cells matches state built the old way.
+func TestBucketCoordLegacyEquivalence(t *testing.T) {
+	legacy := func(v, invR float64, cols int32) int32 {
+		c := int(v * invR)
+		if c < 0 {
+			return 0
+		}
+		if c >= int(cols) {
+			return cols - 1
+		}
+		return int32(c)
+	}
+	rng := rand.New(rand.NewPCG(12, 0xbeef))
+	for trial := 0; trial < 200000; trial++ {
+		var v float64
+		switch trial % 8 {
+		case 0:
+			v = math.NaN()
+		case 1:
+			v = math.Inf(-1)
+		case 2:
+			v = -rng.Float64() * 1e6
+		case 3:
+			v = rng.Float64() * 1e9 // far past any grid, still < 2^63 scaled
+		case 4:
+			v = float64(rng.IntN(512)) * 4 // boundary-exact at invR=0.25
+		default:
+			v = rng.Float64() * 100
+		}
+		invR := []float64{0.25, 1.0 / 3.0, 1, 0.05}[trial%4]
+		cols := int32(1 + rng.IntN(64))
+		if f := v * invR; f >= (1 << 62) { // stay clear of the int64 edge
+			continue
+		}
+		if got, want := BucketCoord(v, invR, cols), legacy(v, invR, cols); got != want {
+			t.Fatalf("trial %d: BucketCoord(%v, %v, %d)=%d, legacy=%d", trial, v, invR, cols, got, want)
+		}
+	}
+	// The documented divergence, pinned so it stays deliberate: positive
+	// overflow and +Inf land in the top column (legacy amd64 gave 0).
+	for _, v := range []float64{math.Inf(1), 1e300, math.Ldexp(1, 64)} {
+		if got := BucketCoord(v, 1, 10); got != 9 {
+			t.Fatalf("BucketCoord(%v, 1, 10)=%d, want top column 9", v, got)
+		}
+	}
+}
+
+// TestBucketsSingleColumn pins the cols=1 degenerate grid: every
+// coordinate, finite or not, maps to bucket 0.
+func TestBucketsSingleColumn(t *testing.T) {
+	xs := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -5, 0, 0.5, 3, 1e300, -0.0}
+	ys := append([]float64(nil), xs...)
+	dst := make([]int32, len(xs))
+	for i := range dst {
+		dst[i] = -7
+	}
+	Buckets(dst, xs, ys, 0.125, 1)
+	for k, c := range dst {
+		if c != 0 {
+			t.Fatalf("lane %d (x=%v): bucket %d, want 0", k, xs[k], c)
+		}
+	}
+}
+
+// TestBucketsDowngradeAgrees pins that the runtime downgrade switch
+// leaves bucket ids unchanged (trivially true on generic-only builds).
+func TestBucketsDowngradeAgrees(t *testing.T) {
+	defer SetGeneric(false)
+	rng := rand.New(rand.NewPCG(13, 0xbeef))
+	xs, ys := randBucketSpan(rng, 257, 100, 0.25)
+	fast := make([]int32, len(xs))
+	SetGeneric(false)
+	Buckets(fast, xs, ys, 0.25, 25)
+	SetGeneric(true)
+	slow := make([]int32, len(xs))
+	Buckets(slow, xs, ys, 0.25, 25)
+	for k := range fast {
+		if fast[k] != slow[k] {
+			t.Fatalf("lane %d differs across downgrade: %d vs %d", k, fast[k], slow[k])
+		}
+	}
+}

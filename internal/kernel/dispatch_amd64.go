@@ -120,6 +120,30 @@ func MaskWord(xs, ys []float64, px, py, r2 float64) uint64 {
 	return maskWordGeneric(0, xs, ys, px, py, r2, 0)
 }
 
+// bucketsAVX2 is the assembly classify kernel: it writes n bucket ids to
+// dst for the first n lanes of xs/ys. n must be a positive multiple of
+// 4, cm1 must equal float64(cols-1). VMULPD + VMAXPD/VMINPD float-domain
+// clamps + VCVTTPD2DQ + VPMULLD/VPADDD — no FMA — so every lane is
+// bit-identical to bucketsGenericRange.
+//
+//go:noescape
+func bucketsAVX2(dst *int32, xs, ys *float64, invR, cm1 float64, cols int32, n int)
+
+// bucketsInto dispatches one span's bucket classification to the
+// selected implementation. The assembly path covers the largest multiple
+// of four lanes; the reference loop finishes the tail in place.
+func bucketsInto(dst []int32, xs, ys []float64, invR float64, cols int32) {
+	n := len(xs)
+	cm1 := float64(cols - 1)
+	if n >= 8 && useAVX2.Load() {
+		n4 := n &^ 3
+		bucketsAVX2(&dst[0], &xs[0], &ys[0], invR, cm1, cols, n4)
+		bucketsGenericRange(dst, xs, ys, invR, cm1, cols, n4, n)
+		return
+	}
+	bucketsGenericRange(dst, xs, ys, invR, cm1, cols, 0, n)
+}
+
 // Path reports which implementation Mask currently uses: "avx2" or
 // "generic".
 func Path() string {

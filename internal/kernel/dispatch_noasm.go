@@ -22,6 +22,12 @@ func MaskWord(xs, ys []float64, px, py, r2 float64) uint64 {
 	return maskWordGeneric(0, xs, ys, px, py, r2, 0)
 }
 
+// bucketsInto dispatches one span's bucket classification. Without the
+// assembly kernel the reference loop is the only implementation.
+func bucketsInto(dst []int32, xs, ys []float64, invR float64, cols int32) {
+	bucketsGenericRange(dst, xs, ys, invR, float64(cols-1), cols, 0, len(xs))
+}
+
 // Path reports which implementation Mask currently uses; always
 // "generic" on this build.
 func Path() string { return "generic" }

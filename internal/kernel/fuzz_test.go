@@ -31,6 +31,42 @@ func decodeSpan(data []byte) (xs, ys []float64) {
 // guards the helpers' chunking. Run with `go test -fuzz
 // FuzzMaskDifferential ./internal/kernel` to search beyond the committed
 // seed corpus.
+// FuzzBucketsDifferential is the classify-kernel counterpart of
+// FuzzMaskDifferential: arbitrary coordinate spans (NaN/Inf/subnormal
+// lanes, unaligned tails), arbitrary inverse bucket sides (non-finite
+// included) and grid widths are fed to the active Buckets path and to an
+// independent scalar oracle, with a poisoned destination, and any
+// differing bucket id fails. Run with `go test -fuzz
+// FuzzBucketsDifferential ./internal/kernel` to search beyond the
+// committed seed corpus.
+func FuzzBucketsDifferential(f *testing.F) {
+	f.Add([]byte("0123456789abcdef0123456789abcdef0123456789abcdef"), 0.25, uint32(25))
+	f.Add([]byte{}, 0.0, uint32(1))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0xf8, 0x7f, 1, 2, 3, 4, 5, 6, 7, 8}, math.Inf(1), uint32(7)) // NaN x lane, Inf scale
+	f.Fuzz(func(t *testing.T, data []byte, invR float64, colsRaw uint32) {
+		if len(data) > 1<<16 {
+			t.Skip("span too large")
+		}
+		cols := int32(colsRaw%(1<<20)) + 1 // [1, 2^20]: valid grid widths
+		xs, ys := decodeSpan(data)
+		want := refBuckets(xs, ys, invR, cols)
+		got := make([]int32, len(xs))
+		for i := range got {
+			got[i] = math.MinInt32 // poison: Buckets must overwrite fully
+		}
+		Buckets(got, xs, ys, invR, cols)
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("lane %d: active path %d != oracle %d (path=%s, n=%d, x=%v y=%v invR=%v cols=%d)",
+					k, got[k], want[k], Path(), len(xs), xs[k], ys[k], invR, cols)
+			}
+			if scalar := BucketOf(xs[k], ys[k], invR, cols); scalar != want[k] {
+				t.Fatalf("lane %d: BucketOf %d != oracle %d", k, scalar, want[k])
+			}
+		}
+	})
+}
+
 func FuzzMaskDifferential(f *testing.F) {
 	f.Add([]byte("0123456789abcdef0123456789abcdef0123456789abcdef"), 1.5, -2.25, 16.0)
 	f.Add([]byte{}, 0.0, 0.0, 0.0)

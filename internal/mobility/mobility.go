@@ -1,9 +1,10 @@
 // Package mobility implements the agent mobility models of the paper and
-// its baselines behind a single small interface:
+// its baselines:
 //
 //   - MRWP: the Manhattan Random Way-Point model (Section 2 of the paper) —
 //     uniform destinations, one of the two L-paths chosen uniformly,
 //     constant speed v.
+//   - PausedMRWP: MRWP with Uniform(0, P) way-point pauses.
 //   - RWP: the classic straight-line Random Way-Point model.
 //   - RandomWalk: independent random walks with reflection, the
 //     uniform-stationary-density baseline of the authors' earlier work
@@ -15,6 +16,52 @@
 // the stationary regime via the Palm trip law (dist.TripSampler) or via the
 // closed-form marginal laws of Theorems 1-2. A cold (uniform) initializer
 // is kept for warm-up/ablation studies.
+//
+// # SoA populations and the AoS reference
+//
+// Every model exposes its agents in two equivalent forms:
+//
+//   - Model.NewAgent: one Agent value per node (array-of-structs). This is
+//     the reference implementation — small, obviously faithful to the
+//     paper's process definitions, and the oracle the differential tests
+//     (internal/mobility/soatest) hold the fast path to.
+//   - BulkStepper.NewPopulation: one Population per world
+//     (structure-of-arrays). All mutable kinematic state — trip progress,
+//     current-leg cache, unit directions, pause clocks — lives in flat
+//     per-model parallel slices, and StepRange advances a whole index
+//     range in one batched loop: no interface dispatch, no pointer chase
+//     per agent, and state that the step actually touches packed densely
+//     in cache. sim.World steps populations exclusively when the model
+//     offers one.
+//
+// The two forms are BIT-IDENTICAL by contract, not approximately equal:
+// a population performs exactly the floating-point operation sequence and
+// exactly the RNG draw sequence of the corresponding Agent, so SoA and
+// AoS trajectories match to the last bit across models, workers, Reset
+// and index regimes. Initialization draws are shared outright (one
+// draw-helper per model feeds both forms), and the step loops are
+// line-for-line ports operating on slice elements instead of fields.
+//
+// # View binding rules
+//
+// The simulator owns the position arrays; mobility publishes into them
+// through a View:
+//
+//   - AoS agents bind one slot each (SlotWriter.BindSlot) and scatter
+//     their position into it at the end of every Step.
+//   - A Population binds the whole View once (Population.Bind) BEFORE any
+//     InitAgent or StepRange call, and its agents' positions live
+//     canonically in View.X/Y — the population keeps no private position
+//     copy. Bind, InitAgent and StepRange must come from the simulator's
+//     step discipline: Bind first, InitAgent per slot (publishing the
+//     initial position), then StepRange over disjoint ranges (safe to run
+//     concurrently — every agent writes only its own slots).
+//
+// View.Dirty, when non-nil, collects per-agent "position changed" bits
+// for the spatial index's delta update: every publish sets the bit, and
+// an agent that rested through a whole step (way-point pauses) skips the
+// publish, leaving its bit clear. Models whose agents always move report
+// NeverRests, letting the simulator drop the bitmap entirely.
 package mobility
 
 import (
@@ -152,17 +199,41 @@ type Model interface {
 	NeverRests() bool
 }
 
-// BulkStepper is an optional Model capability: a model whose agents all
-// share one concrete type steps a homogeneous slice with direct
-// (devirtualized) calls instead of one interface dispatch per agent —
-// worth a few nanoseconds per agent per step, which is real money at
-// n = 20k. StepAgents must behave exactly like calling ag.Step() on each
-// slice element in order, so using it is always bit-identical to the
-// generic loop; sim.World feeds it the (sub)slices of agents this model
-// created.
+// Population is the structure-of-arrays form of n agents of one model:
+// every mutable kinematic quantity lives in a flat per-model slice
+// indexed by agent, and positions live canonically in the bound View.
+// See the package documentation for the binding rules and the
+// bit-identity contract with the AoS agents.
+type Population interface {
+	// Len returns the number of agents in the population.
+	Len() int
+	// Bind attaches the view whose X/Y slices hold the agents' positions.
+	// Must be called exactly once, before any InitAgent or StepRange call;
+	// len(v.X) and len(v.Y) must equal Len().
+	Bind(v View)
+	// InitAgent draws agent i's initial state from rng — consuming exactly
+	// the draws the model's NewAgent would — and publishes its initial
+	// position. The population keeps rng for agent i's later moves.
+	InitAgent(i int, rng *rand.Rand)
+	// StepRange advances agents lo..hi-1 by one time unit each, in index
+	// order, bit-identically to calling Step on the corresponding AoS
+	// agents. Disjoint ranges may be stepped concurrently: an agent
+	// touches only its own slots.
+	StepRange(lo, hi int)
+}
+
+// BulkStepper is an optional Model capability: a model that can represent
+// its agents as a Population and step them in one batched loop — no
+// interface dispatch, no per-agent pointer chase, state packed in flat
+// slices. NewPopulation must produce trajectories bit-identical to n
+// NewAgent agents fed the same per-agent RNG streams; sim.World steps a
+// population exclusively when the model offers one, falling back to AoS
+// agents otherwise.
 type BulkStepper interface {
-	// StepAgents steps every agent of the slice, in slice order.
-	StepAgents(agents []Agent)
+	Model
+	// NewPopulation creates an empty population of n agents, ready for
+	// Bind and per-agent InitAgent.
+	NewPopulation(n int) Population
 }
 
 // Config carries the parameters shared by all mobility models.

@@ -19,7 +19,10 @@ type MRWP struct {
 	spat dist.Spatial
 }
 
-var _ Model = (*MRWP)(nil)
+var (
+	_ Model       = (*MRWP)(nil)
+	_ BulkStepper = (*MRWP)(nil)
+)
 
 // MRWPOption customizes the model.
 type MRWPOption func(*MRWP)
@@ -55,12 +58,8 @@ func (m *MRWP) Name() string { return "mrwp" }
 // NeverRests implements Model: MRWP agents travel distance V every step.
 func (m *MRWP) NeverRests() bool { return true }
 
-// StepAgents implements BulkStepper with direct *MRWPAgent calls.
-func (m *MRWP) StepAgents(agents []Agent) {
-	for _, ag := range agents {
-		ag.(*MRWPAgent).Step()
-	}
-}
+// NewPopulation implements BulkStepper.
+func (m *MRWP) NewPopulation(n int) Population { return newMRWPPop(m, n) }
 
 // Config returns the model parameters.
 func (m *MRWP) Config() Config { return m.cfg }
@@ -86,21 +85,28 @@ func (m *MRWP) ReinitAgent(ag Agent, rng *rand.Rand) bool {
 func (m *MRWP) initAgent(a *MRWPAgent, rng *rand.Rand) {
 	sink := a.slotSink
 	*a = MRWPAgent{cfg: m.cfg, rng: rng, slotSink: sink}
-	switch m.init {
-	case InitUniform:
-		src := geom.Pt(rng.Float64()*m.cfg.L, rng.Float64()*m.cfg.L)
-		a.setPath(geom.NewLPath(src, m.uniformPoint(rng), randOrder(rng)))
-		a.travelled = 0
-	case InitTheorem12:
-		a.initFromTheorems(m, rng)
-	default: // InitStationary
-		t := m.trip.Sample(rng)
-		a.setPath(t.Path)
-		a.travelled = t.Travelled
-	}
+	a.path, a.travelled = m.drawInit(rng)
 	a.syncLeg()
 	a.pos = a.path.At(a.travelled)
 	a.publish(a.pos.X, a.pos.Y)
+}
+
+// drawInit draws one agent's initial trip state (compiled path + progress
+// along it) according to the model's InitMode. It is the single source of
+// the initialization RNG draw sequence: the AoS initAgent and the SoA
+// Population.InitAgent both call it, which is what makes their trajectories
+// bit-identical from step 0.
+func (m *MRWP) drawInit(rng *rand.Rand) (geom.CompiledPath, float64) {
+	switch m.init {
+	case InitUniform:
+		src := geom.Pt(rng.Float64()*m.cfg.L, rng.Float64()*m.cfg.L)
+		return geom.Compile(geom.NewLPath(src, m.uniformPoint(rng), randOrder(rng))), 0
+	case InitTheorem12:
+		return m.drawTheorems(rng)
+	default: // InitStationary
+		t := m.trip.Sample(rng)
+		return geom.Compile(t.Path), t.Travelled
+	}
 }
 
 // NewMRWPAgent creates a single stationary MRWP agent directly; a
@@ -183,11 +189,11 @@ var (
 	_ SlotWriter  = (*MRWPAgent)(nil)
 )
 
-// initFromTheorems builds the agent's state from the closed-form laws:
+// drawTheorems draws an initial trip state from the closed-form laws:
 // position ~ Theorem 1; destination ~ Theorem 2; for a quadrant destination
 // the current heading follows the Palm leg-weight decomposition, which
 // fixes the remaining route.
-func (a *MRWPAgent) initFromTheorems(m *MRWP, rng *rand.Rand) {
+func (m *MRWP) drawTheorems(rng *rand.Rand) (geom.CompiledPath, float64) {
 	var pos geom.Point
 	for {
 		pos = m.spat.Sample(rng)
@@ -201,24 +207,19 @@ func (a *MRWPAgent) initFromTheorems(m *MRWP, rng *rand.Rand) {
 	if err != nil {
 		// Unreachable after the rejection loop above; fall back to a fresh
 		// uniform trip rather than panicking in library code.
-		a.setPath(geom.NewLPath(pos, m.uniformPoint(rng), randOrder(rng)))
-		a.travelled = 0
-		return
+		return geom.Compile(geom.NewLPath(pos, m.uniformPoint(rng), randOrder(rng))), 0
 	}
 	dst, onCross := dl.Sample(rng)
 	if onCross {
 		// Final leg: a single straight segment; either leg order yields it.
-		a.setPath(geom.NewLPath(pos, dst, geom.VerticalFirst))
-		a.travelled = 0
-		return
+		return geom.Compile(geom.NewLPath(pos, dst, geom.VerticalFirst)), 0
 	}
 	heading := dl.HeadingGivenQuadrant(rng, dst)
 	order := geom.VerticalFirst
 	if heading.Horizontal() {
 		order = geom.HorizontalFirst
 	}
-	a.setPath(geom.NewLPath(pos, dst, order))
-	a.travelled = 0
+	return geom.Compile(geom.NewLPath(pos, dst, order)), 0
 }
 
 // Pos implements Agent.

@@ -33,7 +33,10 @@ type PausedMRWP struct {
 	trip     dist.TripSampler
 }
 
-var _ Model = (*PausedMRWP)(nil)
+var (
+	_ Model       = (*PausedMRWP)(nil)
+	_ BulkStepper = (*PausedMRWP)(nil)
+)
 
 // NewPausedMRWP creates the paused variant; maxPause is in time units and
 // must be positive (use plain NewMRWP for zero pause).
@@ -58,12 +61,8 @@ func (m *PausedMRWP) Name() string { return "mrwp-paused" }
 // so the simulator must keep collecting per-agent dirty bits.
 func (m *PausedMRWP) NeverRests() bool { return false }
 
-// StepAgents implements BulkStepper with direct *PausedAgent calls.
-func (m *PausedMRWP) StepAgents(agents []Agent) {
-	for _, ag := range agents {
-		ag.(*PausedAgent).Step()
-	}
-}
+// NewPopulation implements BulkStepper.
+func (m *PausedMRWP) NewPopulation(n int) Population { return newPausedPop(m, n) }
 
 // PausedFraction returns the stationary probability q of being paused.
 func (m *PausedMRWP) PausedFraction() float64 {
@@ -103,23 +102,27 @@ func (m *PausedMRWP) ReinitAgent(ag Agent, rng *rand.Rand) bool {
 func (m *PausedMRWP) initAgent(a *PausedAgent, rng *rand.Rand) {
 	sink := a.slotSink
 	*a = PausedAgent{cfg: m.cfg, maxPause: m.maxPause, rng: rng, slotSink: sink}
+	a.path, a.travelled, a.pauseLeft = m.drawInit(rng)
+	a.pos = a.path.At(a.travelled)
+	a.publish(a.pos.X, a.pos.Y)
+}
+
+// drawInit draws one agent's initial phase, trip and pause clock; the
+// single source of the initialization RNG draw sequence shared by the AoS
+// and SoA forms.
+func (m *PausedMRWP) drawInit(rng *rand.Rand) (path geom.CompiledPath, travelled, pauseLeft float64) {
 	if rng.Float64() < m.PausedFraction() {
 		// Paused phase: position uniform (destinations are uniform), total
 		// pause length-biased (density ~ tau on [0, P] => P*sqrt(U)),
 		// elapsed time uniform within it.
 		pos := geom.Pt(rng.Float64()*m.cfg.L, rng.Float64()*m.cfg.L)
 		total := m.maxPause * math.Sqrt(rng.Float64())
-		a.pauseLeft = total * rng.Float64()
+		pauseLeft = total * rng.Float64()
 		// The path is the degenerate "already arrived" trip.
-		a.setPath(geom.NewLPath(pos, pos, geom.VerticalFirst))
-		a.travelled = 0
-	} else {
-		t := m.trip.Sample(rng)
-		a.setPath(t.Path)
-		a.travelled = t.Travelled
+		return geom.Compile(geom.NewLPath(pos, pos, geom.VerticalFirst)), 0, pauseLeft
 	}
-	a.pos = a.path.At(a.travelled)
-	a.publish(a.pos.X, a.pos.Y)
+	t := m.trip.Sample(rng)
+	return geom.Compile(t.Path), t.Travelled, 0
 }
 
 // PausedAgent is one agent of the paused MRWP model.

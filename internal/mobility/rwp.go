@@ -18,7 +18,10 @@ type RWP struct {
 	init InitMode
 }
 
-var _ Model = (*RWP)(nil)
+var (
+	_ Model       = (*RWP)(nil)
+	_ BulkStepper = (*RWP)(nil)
+)
 
 // RWPOption customizes the model.
 type RWPOption func(*RWP)
@@ -50,12 +53,8 @@ func (m *RWP) Name() string { return "rwp" }
 // NeverRests implements Model: RWP agents travel distance V every step.
 func (m *RWP) NeverRests() bool { return true }
 
-// StepAgents implements BulkStepper with direct *RWPAgent calls.
-func (m *RWP) StepAgents(agents []Agent) {
-	for _, ag := range agents {
-		ag.(*RWPAgent).Step()
-	}
-}
+// NewPopulation implements BulkStepper.
+func (m *RWP) NewPopulation(n int) Population { return newRWPPop(m, n) }
 
 // NewAgent implements Model.
 func (m *RWP) NewAgent(rng *rand.Rand) Agent {
@@ -77,17 +76,23 @@ func (m *RWP) ReinitAgent(ag Agent, rng *rand.Rand) bool {
 func (m *RWP) initAgent(a *RWPAgent, rng *rand.Rand) {
 	sink := a.slotSink
 	*a = RWPAgent{cfg: m.cfg, rng: rng, slotSink: sink}
-	if m.init == InitUniform {
-		a.src = geom.Pt(rng.Float64()*m.cfg.L, rng.Float64()*m.cfg.L)
-		a.dst = geom.Pt(rng.Float64()*m.cfg.L, rng.Float64()*m.cfg.L)
-		a.travelled = 0
-	} else {
-		// Palm trip law for straight-line RWP: endpoint density proportional
-		// to the Euclidean length, position uniform along the segment.
-		a.src, a.dst = sampleEuclideanBiasedPair(rng, m.cfg.L)
-		a.travelled = rng.Float64() * a.src.Dist(a.dst)
-	}
+	a.src, a.dst, a.travelled = m.drawInit(rng)
 	a.updatePos()
+}
+
+// drawInit draws one agent's initial segment and progress; the single
+// source of the initialization RNG draw sequence shared by the AoS and
+// SoA forms.
+func (m *RWP) drawInit(rng *rand.Rand) (src, dst geom.Point, travelled float64) {
+	if m.init == InitUniform {
+		src = geom.Pt(rng.Float64()*m.cfg.L, rng.Float64()*m.cfg.L)
+		dst = geom.Pt(rng.Float64()*m.cfg.L, rng.Float64()*m.cfg.L)
+		return src, dst, 0
+	}
+	// Palm trip law for straight-line RWP: endpoint density proportional
+	// to the Euclidean length, position uniform along the segment.
+	src, dst = sampleEuclideanBiasedPair(rng, m.cfg.L)
+	return src, dst, rng.Float64() * src.Dist(dst)
 }
 
 // sampleEuclideanBiasedPair draws (A, B) from [0,L]^4 with density

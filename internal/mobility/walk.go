@@ -18,7 +18,10 @@ type RandomWalk struct {
 	cfg Config
 }
 
-var _ Model = (*RandomWalk)(nil)
+var (
+	_ Model       = (*RandomWalk)(nil)
+	_ BulkStepper = (*RandomWalk)(nil)
+)
 
 // NewRandomWalk creates the random-walk model.
 func NewRandomWalk(cfg Config) (*RandomWalk, error) {
@@ -34,12 +37,8 @@ func (m *RandomWalk) Name() string { return "random-walk" }
 // NeverRests implements Model: walkers move distance V every step.
 func (m *RandomWalk) NeverRests() bool { return true }
 
-// StepAgents implements BulkStepper with direct *WalkAgent calls.
-func (m *RandomWalk) StepAgents(agents []Agent) {
-	for _, ag := range agents {
-		ag.(*WalkAgent).Step()
-	}
-}
+// NewPopulation implements BulkStepper.
+func (m *RandomWalk) NewPopulation(n int) Population { return newWalkPop(m, n) }
 
 // NewAgent implements Model. Agents start uniform, which is already the
 // stationary law of this model.
@@ -110,7 +109,10 @@ type RandomDirection struct {
 	cfg Config
 }
 
-var _ Model = (*RandomDirection)(nil)
+var (
+	_ Model       = (*RandomDirection)(nil)
+	_ BulkStepper = (*RandomDirection)(nil)
+)
 
 // NewRandomDirection creates the random-direction model.
 func NewRandomDirection(cfg Config) (*RandomDirection, error) {
@@ -126,12 +128,8 @@ func (m *RandomDirection) Name() string { return "random-direction" }
 // NeverRests implements Model: direction agents move distance V every step.
 func (m *RandomDirection) NeverRests() bool { return true }
 
-// StepAgents implements BulkStepper with direct *DirectionAgent calls.
-func (m *RandomDirection) StepAgents(agents []Agent) {
-	for _, ag := range agents {
-		ag.(*DirectionAgent).Step()
-	}
-}
+// NewPopulation implements BulkStepper.
+func (m *RandomDirection) NewPopulation(n int) Population { return newDirectionPop(m, n) }
 
 // NewAgent implements Model.
 func (m *RandomDirection) NewAgent(rng *rand.Rand) Agent {
@@ -183,9 +181,15 @@ func (a *DirectionAgent) BindSlot(v View, slot int) {
 }
 
 func (a *DirectionAgent) redraw() {
-	theta := a.rng.Float64() * 2 * math.Pi
-	a.dx, a.dy = math.Cos(theta), math.Sin(theta)
-	a.remaining = a.rng.Float64() * a.cfg.L
+	a.dx, a.dy, a.remaining = drawDirectionEpoch(a.rng, a.cfg.L)
+}
+
+// drawDirectionEpoch draws a fresh direction epoch (unit direction +
+// travel distance); shared by the AoS and SoA forms so both consume the
+// same RNG draw sequence.
+func drawDirectionEpoch(rng *rand.Rand, l float64) (dx, dy, remaining float64) {
+	theta := rng.Float64() * 2 * math.Pi
+	return math.Cos(theta), math.Sin(theta), rng.Float64() * l
 }
 
 // Pos implements Agent.

@@ -12,12 +12,21 @@
 // coordinate) rather than a []geom.Point: the Monte-Carlo sweeps that
 // dominate the simulator's runtime stream X before (or instead of) Y in
 // their distance tests, and the split layout halves the memory traffic of
-// those loops. Agents are bound to their slice slot at construction
-// (mobility.SlotWriter) and scatter their position into it at the end of
-// every Step, so the engine pays exactly one interface call per agent per
-// step. X and Y expose the live slices (valid snapshots only until the
-// next Step/Reset); Positions allocates a point snapshot for cold paths
-// (traces, examples) that remains valid forever.
+// those loops. When the model offers a mobility.Population
+// (mobility.BulkStepper), ALL mutable agent state — not just positions —
+// lives in flat per-model slices: the world binds the population to its
+// X/Y view and steps it in batched range loops with no per-agent
+// interface call at all, then classifies the fresh positions into grid
+// buckets chunk-by-chunk while they are still cache-hot (the fused
+// advance→classify pass, internal/kernel.Buckets) and feeds the
+// precomputed bucket ids straight to the neighbor index
+// (spatialindex.Index.UpdateCells / RebuildXYCells) — no second
+// per-agent sweep. Models without the capability fall back to per-agent
+// values bound to their slice slot (mobility.SlotWriter), one interface
+// call per agent per step; both forms produce bit-identical trajectories
+// (see internal/mobility/soatest). X and Y expose the live slices (valid
+// snapshots only until the next Step/Reset); Positions allocates a point
+// snapshot for cold paths (traces, examples) that remains valid forever.
 //
 // The slot writes double as dirty-bit collection: an agent whose publish
 // leaves its coordinates unchanged (a paused way-point agent) keeps its
@@ -150,14 +159,15 @@ const deltaUpdateMaxMoverFraction = 0.05
 type World struct {
 	params     Params
 	model      mobility.Model
-	agents     []mobility.Agent
+	agents     []mobility.Agent    // AoS agent values (nil when stepping a population)
+	pop        mobility.Population // SoA population (nil when stepping AoS agents)
+	cells      []int32             // fused classify output: per-agent bucket ids (population mode)
 	rngs       []*rand.Rand
 	pcgs       []*rand.PCG
-	x, y       []float64            // SoA positions, indexed by agent id
-	dirty      []bool               // agents whose position changed this step (bound, resting models only)
-	bound      bool                 // every agent writes its slot itself (SlotWriter)
-	neverRests bool                 // model guarantees every agent moves every step
-	bulk       mobility.BulkStepper // model steps homogeneous agent slices directly (nil without the capability)
+	x, y       []float64 // SoA positions, indexed by agent id
+	dirty      []bool    // agents whose position changed this step (resting models only)
+	bound      bool      // every agent writes its slot itself (population or SlotWriter)
+	neverRests bool      // model guarantees every agent moves every step
 	index      *spatialindex.Index
 	step       int
 	// catch forwards panics out of the parallel stepping workers onto the
@@ -187,7 +197,6 @@ func NewWorld(p Params, factory ModelFactory) (*World, error) {
 	w := &World{
 		params:     p,
 		model:      model,
-		agents:     make([]mobility.Agent, p.N),
 		rngs:       make([]*rand.Rand, p.N),
 		pcgs:       make([]*rand.PCG, p.N),
 		x:          make([]float64, p.N),
@@ -205,6 +214,23 @@ func NewWorld(p Params, factory ModelFactory) (*World, error) {
 		w.dirty = make([]bool, p.N)
 	}
 	view := mobility.View{X: w.x, Y: w.y, Dirty: w.dirty}
+	if bs, ok := model.(mobility.BulkStepper); ok {
+		// Population (SoA) mode: all agent state lives in flat slices,
+		// positions canonically in the view; no per-agent values exist.
+		// The cells buffer receives the fused advance→classify pass.
+		w.pop = bs.NewPopulation(p.N)
+		w.pop.Bind(view)
+		w.cells = make([]int32, p.N)
+		for i := range w.rngs {
+			// Independent per-agent PCG streams split from the world seed.
+			w.pcgs[i] = rand.NewPCG(p.Seed, uint64(i)+seedStride)
+			w.rngs[i] = rand.New(w.pcgs[i])
+			w.pop.InitAgent(i, w.rngs[i]) // publishes the initial position
+		}
+		w.index.RebuildXY(w.x, w.y)
+		return w, nil
+	}
+	w.agents = make([]mobility.Agent, p.N)
 	for i := range w.agents {
 		// Independent per-agent PCG streams split from the world seed.
 		w.pcgs[i] = rand.NewPCG(p.Seed, uint64(i)+seedStride)
@@ -219,12 +245,6 @@ func NewWorld(p Params, factory ModelFactory) (*World, error) {
 			w.x[i], w.y[i] = p.X, p.Y
 		}
 	}
-	// The bulk fast path requires every agent to publish through its own
-	// bound slot; a mixed/unbound population falls back to the generic
-	// loop, which also copies positions out by hand.
-	if w.bound {
-		w.bulk, _ = model.(mobility.BulkStepper)
-	}
 	w.index.RebuildXY(w.x, w.y)
 	return w, nil
 }
@@ -238,6 +258,17 @@ func NewWorld(p Params, factory ModelFactory) (*World, error) {
 // slices and the Index are rebuilt in place.
 func (w *World) Reset(seed uint64) {
 	w.params.Seed = seed
+	if w.pop != nil {
+		// Population mode: InitAgent re-draws slot i in place from the
+		// reseeded stream, consuming exactly the draws NewAgent would.
+		for i := range w.rngs {
+			w.pcgs[i].Seed(seed, uint64(i)+seedStride)
+			w.pop.InitAgent(i, w.rngs[i])
+		}
+		w.step = 0
+		w.index.RebuildXY(w.x, w.y)
+		return
+	}
 	rm, _ := w.model.(mobility.ReinitModel)
 	view := mobility.View{X: w.x, Y: w.y, Dirty: w.dirty}
 	for i := range w.agents {
@@ -263,9 +294,6 @@ func (w *World) Reset(seed uint64) {
 		}
 	}
 	w.step = 0
-	if !w.bound {
-		w.bulk = nil
-	}
 	w.index.RebuildXY(w.x, w.y)
 }
 
@@ -276,7 +304,7 @@ func (w *World) Params() Params { return w.params }
 func (w *World) ModelName() string { return w.model.Name() }
 
 // N returns the number of agents.
-func (w *World) N() int { return len(w.agents) }
+func (w *World) N() int { return len(w.x) }
 
 // Time returns the number of steps taken so far.
 func (w *World) Time() int { return w.step }
@@ -299,12 +327,10 @@ func (w *World) Step() {
 		clear(w.dirty)
 	}
 	switch {
+	case w.pop != nil:
+		w.stepPop()
 	case w.params.Workers > 1 && len(w.agents) >= 2*w.params.Workers:
 		w.stepParallel()
-	case w.bulk != nil:
-		// Slot-bound agents publish their own position; the model's
-		// bulk stepper devirtualizes the per-agent call.
-		w.bulk.StepAgents(w.agents)
 	case w.bound:
 		// Slot-bound agents publish their own position; one interface
 		// call per agent.
@@ -322,6 +348,75 @@ func (w *World) Step() {
 	w.step++
 }
 
+// fuseChunk is the advance→classify granularity of the population step:
+// the world steps this many agents, then immediately classifies their
+// fresh coordinates into grid buckets while they are still in L1/L2 (two
+// 8 KiB coordinate spans per chunk). One chunk is large enough that the
+// classify kernel runs at full vector width and the loop overhead
+// vanishes, and small enough that the positions never round-trip
+// through memory between the advance and the classify.
+const fuseChunk = 1024
+
+// stepPop advances the population and runs the fused classify pass.
+// Fusing applies exactly when every agent republishes every step
+// (NeverRests): then the whole cells buffer is fresh and syncIndex feeds
+// it to the index's precomputed-cells paths. A resting model leaves most
+// positions untouched, so classifying everyone would be wasted work —
+// its syncIndex keeps the dirty-bitmap delta path instead.
+func (w *World) stepPop() {
+	n := len(w.x)
+	fuse := w.neverRests
+	if w.params.Workers > 1 && n >= 2*w.params.Workers {
+		w.stepPopParallel(fuse)
+		return
+	}
+	for lo := 0; lo < n; lo += fuseChunk {
+		hi := lo + fuseChunk
+		if hi > n {
+			hi = n
+		}
+		w.pop.StepRange(lo, hi)
+		if fuse {
+			w.index.ClassifyInto(w.cells[lo:hi], w.x[lo:hi], w.y[lo:hi])
+		}
+	}
+}
+
+func (w *World) stepPopParallel(fuse bool) {
+	workers := w.params.Workers
+	n := len(w.x)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	shard := 0
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		sh := shard
+		shard++
+		wg.Add(1)
+		go func(sh, lo, hi int) {
+			defer wg.Done()
+			defer w.catch.Recover(sh)
+			for clo := lo; clo < hi; clo += fuseChunk {
+				chi := clo + fuseChunk
+				if chi > hi {
+					chi = hi
+				}
+				w.pop.StepRange(clo, chi)
+				if fuse {
+					// Shards own disjoint index ranges, so the classify
+					// writes race-free into the shared cells buffer.
+					w.index.ClassifyInto(w.cells[clo:chi], w.x[clo:chi], w.y[clo:chi])
+				}
+			}
+		}(sh, start, end)
+	}
+	wg.Wait()
+	w.catch.Rethrow()
+}
+
 // syncIndex re-synchronizes the neighbor index with the stepped positions,
 // choosing between the delta patch and the full counting-sort rebuild by
 // predicted mover fraction (movers ~= moving agents * V/R). Both paths
@@ -335,6 +430,18 @@ func (w *World) syncIndex() {
 		return
 	}
 	vOverR := w.params.V / w.params.R
+	if w.pop != nil && w.neverRests {
+		// Fused population step: every bucket id is already in cells,
+		// computed chunk-by-chunk while the coordinates were cache-hot.
+		// Both consumers are bit-identical to their classify-inside
+		// twins; V/R alone picks the cheaper one, as in the plain paths.
+		if vOverR <= deltaUpdateMaxMoverFraction {
+			w.index.UpdateCells(w.x, w.y, w.cells, nil)
+		} else {
+			w.index.RebuildXYCells(w.x, w.y, w.cells)
+		}
+		return
+	}
 	if !w.bound || w.neverRests {
 		// Third-party agents bypass the view, and never-resting models set
 		// every bit: either way there are no dirty bits worth exploiting,
@@ -393,10 +500,6 @@ func (w *World) stepParallel() {
 			defer wg.Done()
 			defer w.catch.Recover(sh)
 			if w.bound {
-				if w.bulk != nil {
-					w.bulk.StepAgents(w.agents[lo:hi])
-					return
-				}
 				for i := lo; i < hi; i++ {
 					w.agents[i].Step()
 				}
@@ -437,8 +540,19 @@ func (w *World) Positions() []geom.Point {
 }
 
 // Agent returns agent i (for model-specific introspection such as turn
-// counters).
-func (w *World) Agent(i int) mobility.Agent { return w.agents[i] }
+// counters). Population-stepped worlds hold no per-agent values — the
+// state lives in the population's flat slices — so Agent returns nil for
+// them.
+func (w *World) Agent(i int) mobility.Agent {
+	if w.agents == nil {
+		return nil
+	}
+	return w.agents[i]
+}
+
+// Population returns the world's SoA population, or nil when the world
+// steps AoS agent values (for probe-based introspection and tests).
+func (w *World) Population() mobility.Population { return w.pop }
 
 // Index returns the neighbor index for the current step. It is valid until
 // the next Step call.

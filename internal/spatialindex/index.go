@@ -96,6 +96,7 @@ type Index struct {
 	movers       []int32 // ids whose bucket changed, ascending
 	moversByCell []int32 // movers grouped by destination, ascending ids
 	moved        []bool  // id -> bucket changed this update (reset per update)
+	cellScratch  []int32 // batched-classify target for nil-dirty updates
 
 	// Per-bucket change summary of the last re-synchronization (see
 	// ChangedBuckets). Exact only after an Update driven by a dirty bitmap;
@@ -183,19 +184,45 @@ func (ix *Index) RebuildXY(xs, ys []float64) {
 		panic(panicsafe.Invariant("spatialindex", "coordinate slices disagree: len(xs)=%d len(ys)=%d", n, len(ys)))
 	}
 	ix.ensure(n)
-	// The snapshot copy is fused into the classify pass: one read of the
-	// caller's streams feeds both the owned buffers and the bucket
-	// counters, instead of a separate 2n-float64 memmove up front.
+	copy(ix.xs, xs)
+	copy(ix.ys, ys)
+	ix.rebuildOwned()
+}
+
+// ClassifyInto fills cells[i] with the bucket id of (xs[i], ys[i]) using
+// the batched kernel classify — the same mapping every other path uses.
+// cells must have len(xs) entries. This is the fused advance→classify
+// hook: sim.World classifies positions straight out of the mobility
+// step's flat slices and hands the precomputed ids to RebuildXYCells or
+// UpdateCells, so the index never re-derives them point by point.
+func (ix *Index) ClassifyInto(cells []int32, xs, ys []float64) {
+	if len(cells) != len(xs) {
+		panic(panicsafe.Invariant("spatialindex", "cells disagree with points: len(cells)=%d len(xs)=%d", len(cells), len(xs)))
+	}
+	kernel.Buckets(cells, xs, ys, ix.invR, int32(ix.cols))
+}
+
+// RebuildXYCells is RebuildXY with the classify pass already done: cells
+// must hold the bucket id of every point, exactly as ClassifyInto
+// produces them. The coordinates are copied, not retained; cells is
+// consumed during the call and not retained either.
+func (ix *Index) RebuildXYCells(xs, ys []float64, cells []int32) {
+	n := len(xs)
+	if len(ys) != n {
+		panic(panicsafe.Invariant("spatialindex", "coordinate slices disagree: len(xs)=%d len(ys)=%d", n, len(ys)))
+	}
+	if len(cells) != n {
+		panic(panicsafe.Invariant("spatialindex", "cells disagree with points: len(cells)=%d len(xs)=%d", len(cells), n))
+	}
+	ix.ensure(n)
+	copy(ix.xs, xs)
+	copy(ix.ys, ys)
 	ix.changeExact = false
 	starts := ix.starts
 	clear(starts)
-	ox, oy := ix.xs, ix.ys
-	for i := range xs {
-		x, y := xs[i], ys[i]
-		ox[i] = x
-		oy[i] = y
-		c := int32(ix.bucketOfXY(x, y))
-		ix.cellOf[i] = c
+	cellOf := ix.cellOf
+	for i, c := range cells {
+		cellOf[i] = c
 		starts[c+1]++
 	}
 	ix.finishRebuild()
@@ -230,15 +257,15 @@ func (ix *Index) ChangedBuckets() (marks []bool, exact bool) {
 }
 
 // rebuildOwned runs the counting sort over the current id-indexed view
-// (the owned copies, or slices retained by Update's fallback path).
+// (the owned copies, or slices retained by Update's fallback path). The
+// classify pass is one batched kernel call straight into cellOf; the
+// count pass then reads the ids back as a sequential int32 stream.
 func (ix *Index) rebuildOwned() {
 	ix.changeExact = false
-	xs := ix.xs
+	ix.ClassifyInto(ix.cellOf, ix.xs, ix.ys)
 	starts := ix.starts
 	clear(starts)
-	for i := range xs {
-		c := int32(ix.bucketOfXY(xs[i], ix.ys[i]))
-		ix.cellOf[i] = c
+	for _, c := range ix.cellOf {
 		starts[c+1]++
 	}
 	ix.finishRebuild()
@@ -312,20 +339,11 @@ func (ix *Index) Cell(id int) int { return int(ix.cellOf[id]) }
 // CellCount returns the number of points in bucket c.
 func (ix *Index) CellCount(c int) int { return int(ix.starts[c+1] - ix.starts[c]) }
 
+// bucketOfXY is the scalar classify path; the batched paths and every
+// consumer share the kernel's definition, so a point always lands in
+// the same bucket no matter which path classified it.
 func (ix *Index) bucketOfXY(x, y float64) int {
-	cx := ix.clampCol(int(x * ix.invR))
-	cy := ix.clampCol(int(y * ix.invR))
-	return cy*ix.cols + cx
-}
-
-func (ix *Index) clampCol(c int) int {
-	if c < 0 {
-		return 0
-	}
-	if c >= ix.cols {
-		return ix.cols - 1
-	}
-	return c
+	return int(kernel.BucketOf(x, y, ix.invR, int32(ix.cols)))
 }
 
 // blockBounds clips the 3x3 block around bucket coordinates (cx, cy) to
@@ -351,8 +369,9 @@ func (ix *Index) blockBounds(cx, cy int) (x0, x1, y0, y1 int) {
 // BlockBoundsXY returns the inclusive bucket-coordinate bounds [x0, x1] x
 // [y0, y1] of the 3x3 bucket block around (x, y), clipped to the grid.
 func (ix *Index) BlockBoundsXY(x, y float64) (x0, x1, y0, y1 int) {
-	cx := ix.clampCol(int(x * ix.invR))
-	cy := ix.clampCol(int(y * ix.invR))
+	cols := int32(ix.cols)
+	cx := int(kernel.BucketCoord(x, ix.invR, cols))
+	cy := int(kernel.BucketCoord(y, ix.invR, cols))
 	return ix.blockBounds(cx, cy)
 }
 

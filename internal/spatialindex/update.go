@@ -1,6 +1,9 @@
 package spatialindex
 
-import "manhattanflood/internal/panicsafe"
+import (
+	"manhattanflood/internal/kernel"
+	"manhattanflood/internal/panicsafe"
+)
 
 // UpdateFallbackFraction is the mover fraction above which Update abandons
 // the delta patch and falls back to the full counting-sort rebuild. Movers
@@ -99,6 +102,25 @@ func (ix *Index) ensureUpdate(n int) {
 // for movers — the bucket it arrived in. The flooding sweep uses the
 // summary to skip buckets whose 3x3 neighborhood is untouched.
 func (ix *Index) Update(xs, ys []float64, dirty []bool) {
+	ix.updateImpl(xs, ys, dirty, nil)
+}
+
+// UpdateCells is Update with the classify pass already done: cells must
+// hold the current bucket id of every point, exactly as ClassifyInto
+// produces them (for points with a false dirty flag the stored
+// classification is trusted instead, as in Update). This is the fused
+// ingestion path of the SoA world step — the step loop classifies
+// positions in the same streaming pass that advanced them and the index
+// only compares ids. cells is read during the call and not retained;
+// xs/ys are retained exactly as in Update.
+func (ix *Index) UpdateCells(xs, ys []float64, cells []int32, dirty []bool) {
+	if len(cells) != len(xs) {
+		panic(panicsafe.Invariant("spatialindex", "cells disagree with points: len(cells)=%d len(xs)=%d", len(cells), len(xs)))
+	}
+	ix.updateImpl(xs, ys, dirty, cells)
+}
+
+func (ix *Index) updateImpl(xs, ys []float64, dirty []bool, cells []int32) {
 	n := len(xs)
 	if len(ys) != n {
 		// Programmer-error panic: never recovered into a silent fallback
@@ -133,21 +155,22 @@ func (ix *Index) Update(xs, ys []float64, dirty []bool) {
 	cols := ix.cols
 	bailed := false
 
-	// Pass 1: classify in id order. The nil-dirty loop is split out so the
-	// common everyone-moves case runs without a per-point flag load.
+	// Pass 1: classify in id order. The nil-dirty everyone-moves case is
+	// one batched kernel classify (unless the caller already did it) plus
+	// a sequential compare loop with no per-point flag loads; the
+	// dirty-driven case stays scalar — with a sparse dirty set, touching
+	// every lane just to reclassify a few would cost more than it saves.
 	xsn := xs[:n]
 	ysn := ys[:n]
 	if dirty == nil {
-		for i := range xsn {
-			cx := int(xsn[i] * invR)
-			if uint(cx) >= uint(cols) {
-				cx = ix.clampCol(cx)
+		if cells == nil {
+			if cap(ix.cellScratch) < n {
+				ix.cellScratch = make([]int32, n)
 			}
-			cy := int(ysn[i] * invR)
-			if uint(cy) >= uint(cols) {
-				cy = ix.clampCol(cy)
-			}
-			c := int32(cy*cols + cx)
+			cells = ix.cellScratch[:n]
+			kernel.Buckets(cells, xsn, ysn, invR, int32(cols))
+		}
+		for i, c := range cells {
 			if old := cellOf[i]; old != c {
 				cellOf[i] = c
 				moved[i] = true
@@ -170,19 +193,17 @@ func (ix *Index) Update(xs, ys []float64, dirty []bool) {
 		// point set or published coordinates differ from the previous step.
 		chg := ix.changed
 		clear(chg)
+		cols32 := int32(cols)
 		for i := range xsn {
 			if !dirty[i] {
 				continue
 			}
-			cx := int(xsn[i] * invR)
-			if uint(cx) >= uint(cols) {
-				cx = ix.clampCol(cx)
+			var c int32
+			if cells != nil {
+				c = cells[i]
+			} else {
+				c = kernel.BucketOf(xsn[i], ysn[i], invR, cols32)
 			}
-			cy := int(ysn[i] * invR)
-			if uint(cy) >= uint(cols) {
-				cy = ix.clampCol(cy)
-			}
-			c := int32(cy*cols + cx)
 			old := cellOf[i]
 			chg[old] = true
 			if old != c {
