@@ -9,14 +9,15 @@ GO ?= go
 GOTAGS ?=
 TAGFLAG = $(if $(GOTAGS),-tags $(GOTAGS))
 
-.PHONY: ci ci-purego check fmt vet build test test-race cover fuzz-short test-fault test-service bench bench-allocs bench-json bench-compare docs clean clean-check
+.PHONY: ci ci-purego check fmt vet build test test-race test-scale cover fuzz-short test-fault test-service bench bench-allocs bench-json bench-compare docs clean clean-check
 
 # ci is the full local tier-1 gate: the hardware-independent checks plus
-# the fault-injection suite, a short fuzz run beyond the committed seed
-# corpora, the timing smoke run and the ns/op regression gate against
-# the committed trajectory file (which self-disables on non-comparable
-# hardware; see bench-compare).
-ci: check test-fault test-service fuzz-short bench bench-compare
+# the fault-injection suite, the population-scale tiled-identity smoke,
+# a short fuzz run beyond the committed seed corpora, the timing smoke
+# run and the ns/op regression gate against the committed trajectory
+# file (which self-disables on non-comparable hardware; see
+# bench-compare).
+ci: check test-fault test-service test-scale fuzz-short bench bench-compare
 
 # ci-purego is the fallback-path leg of the matrix: the same
 # hardware-independent gate with the assembly kernel compiled out.
@@ -53,6 +54,14 @@ test:
 # unsynchronized read would hide behind deterministic output.
 test-race:
 	$(GO) test $(TAGFLAG) -race ./internal/core ./internal/sim ./internal/mobility/... ./internal/spatialindex
+
+# test-scale runs the opt-in 100k-agent tiled-vs-flat bit-identity smoke
+# (TestScaleBitIdentity): the small property grids cover every regime,
+# this one catches scratch-sizing and cursor bugs that only manifest
+# when each tile holds thousands of buckets. Seconds, not milliseconds,
+# hence the env gate instead of running under plain `go test ./...`.
+test-scale:
+	FLOODSIM_SCALE_TEST=1 $(GO) test $(TAGFLAG) -run TestScaleBitIdentity ./internal/core/
 
 # cover enforces the coverage floor on the mobility layer: the SoA
 # populations duplicate every model's stepping logic, so untested lines
@@ -118,7 +127,7 @@ bench-allocs:
 # BENCH_BASELINE is the benchmark trajectory file bench-json writes and
 # bench-compare diffs against; the committed default was recorded on the
 # reference machine (see its go_version/gomaxprocs/cpu_model header).
-BENCH_BASELINE ?= BENCH_6.json
+BENCH_BASELINE ?= BENCH_7.json
 
 # bench-json regenerates the benchmark trajectory file. Baselines are
 # median-of-3 like the gate itself, so a descheduled single sample can

@@ -5,7 +5,11 @@
 // The daemon is crash-only: with -state set, every accepted job and every
 // completed (point, trial) cell is fsynced before it is acknowledged, so
 // a SIGKILLed server restarted against the same state directory resumes
-// every accepted job and produces byte-identical results. SIGTERM or
+// every accepted job and produces byte-identical results. -retain bounds
+// how long finished jobs linger: past the window the garbage collector
+// drops a terminal job together with its spec record and journal, so the
+// job table stays bounded and a restart does not resurrect collected
+// jobs (resubmitting the same spec then recomputes it). SIGTERM or
 // SIGINT triggers a graceful drain instead: admission stops (healthz and
 // submits turn 503), in-flight trials finish and are journaled, and the
 // process exits 1 if unfinished jobs remain (they resume next start),
@@ -41,6 +45,7 @@ func run() int {
 		defaultTimeout = flag.Duration("default-timeout", 0, "per-job deadline applied when the spec sets none (0 = none)")
 		stallTimeout   = flag.Duration("stall-timeout", 5*time.Minute, "watchdog threshold for a single wedged trial (0 = off)")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight trials on SIGTERM")
+		retain         = flag.Duration("retain", 0, "how long finished jobs (and their journals) are kept before GC; also the result-cache window (0 = forever)")
 	)
 	flag.Parse()
 
@@ -52,6 +57,7 @@ func run() int {
 		DefaultTimeout: *defaultTimeout,
 		StallTimeout:   *stallTimeout,
 		StateDir:       *stateDir,
+		Retain:         *retain,
 		Logf:           func(format string, args ...any) { logger.Printf(format, args...) },
 	})
 	if err != nil {

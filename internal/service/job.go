@@ -163,8 +163,9 @@ type job struct {
 	inflight int       // cells currently on workers
 	counted  bool      // occupies an admission slot
 
-	deadline time.Time // zero = no deadline
-	result   *experiments.SweepResult
+	deadline   time.Time // zero = no deadline
+	finishedAt time.Time // when the job turned terminal (retention clock)
+	result     *experiments.SweepResult
 
 	// journalDegraded notes a RecordDurable failure: the job keeps
 	// running from memory (fail open — computed results are still

@@ -51,6 +51,14 @@ type Config struct {
 	// StateDir makes jobs durable: specs under <dir>/jobs, per-job
 	// checkpoint journals under <dir>/journals. Empty runs in memory.
 	StateDir string
+	// Retain bounds how long terminal jobs (completed, failed, canceled)
+	// are kept before the garbage collector drops them — from the job
+	// table AND from the state directory (spec record plus journal), so a
+	// restart does not re-admit them. 0 keeps terminal jobs forever (the
+	// historical behavior). Since job IDs are content addresses, Retain
+	// is also the result-cache window: resubmitting a collected spec
+	// recomputes it as a fresh job.
+	Retain time.Duration
 	// Logf receives operational log lines (nil discards them).
 	Logf func(format string, args ...any)
 }
@@ -500,6 +508,7 @@ func (s *Scheduler) finalizeLocked(j *job, state State, err error) {
 	}
 	j.state = state
 	j.err = err
+	j.finishedAt = time.Now()
 	j.pending = nil
 	j.next = 0
 	s.removeFromQueueLocked(j)
@@ -522,8 +531,10 @@ func (s *Scheduler) removeFromQueueLocked(j *job) {
 
 // watchdog periodically (a) fails jobs whose single trial has been wedged
 // on a worker past StallTimeout, abandoning and replacing that worker so
-// pool capacity survives, and (b) sweeps deadlines for jobs dispatch
-// never reaches.
+// pool capacity survives, (b) sweeps deadlines for jobs dispatch never
+// reaches, and (c) garbage-collects terminal jobs older than Retain —
+// memory and state directory both, so the job table stays bounded on a
+// long-lived server and a restart cannot resurrect collected jobs.
 func (s *Scheduler) watchdog() {
 	t := time.NewTicker(50 * time.Millisecond)
 	defer t.Stop()
@@ -558,8 +569,62 @@ func (s *Scheduler) watchdog() {
 			}
 			s.failLocked(j, fmt.Errorf("deadline exceeded (budget %.3gs)", j.spec.TimeoutSeconds))
 		}
+		var expired []*job
+		if s.cfg.Retain > 0 {
+			expired = s.collectExpiredLocked(now)
+		}
 		s.mu.Unlock()
+		// File removal happens outside the lock: the collected jobs are
+		// already unreachable from the table, so dispatch never blocks on
+		// disk, and a crash mid-removal only leaves files the next GC (or
+		// a resume + later GC) picks up again.
+		for _, j := range expired {
+			s.removeJobState(j)
+		}
 	}
+}
+
+// collectExpiredLocked unlinks every terminal job past the retention
+// window from the scheduler's table and returns them for state removal.
+// Caller holds s.mu.
+func (s *Scheduler) collectExpiredLocked(now time.Time) []*job {
+	var expired []*job
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.state.terminal() && !j.finishedAt.IsZero() && now.Sub(j.finishedAt) > s.cfg.Retain {
+			expired = append(expired, j)
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+	return expired
+}
+
+// removeJobState closes a collected job's journal and deletes its spec
+// record and journal file. Missing files are fine (in-memory mode, or a
+// previous partial removal).
+func (s *Scheduler) removeJobState(j *job) {
+	if j.journal != nil {
+		if err := j.journal.Close(); err != nil {
+			s.logf("service: gc job %s: closing journal: %v", j.id, err)
+		}
+	}
+	if s.cfg.StateDir == "" {
+		s.logf("service: gc: dropped job %s (retained %s)", j.id, s.cfg.Retain)
+		return
+	}
+	for _, path := range []string{
+		filepath.Join(s.cfg.StateDir, "jobs", j.id+".json"),
+		filepath.Join(s.cfg.StateDir, "journals", j.id+".ckpt"),
+	} {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			s.logf("service: gc job %s: %v", j.id, err)
+		}
+	}
+	s.logf("service: gc: dropped job %s and its state (retained %s)", j.id, s.cfg.Retain)
 }
 
 // Draining reports whether shutdown has begun (healthz turns 503).

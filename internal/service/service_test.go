@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
@@ -317,6 +319,84 @@ func TestRestartResume(t *testing.T) {
 	}
 	if got3, ok := s3.Result(v.ID); !ok || !reflect.DeepEqual(got3, want) {
 		t.Fatalf("cold-cache result differs")
+	}
+}
+
+// TestRetentionGC: with Retain set, a finished job is collected — gone
+// from the job table AND from the state directory — so a restart against
+// the same directory does not re-admit it, and resubmitting the same
+// spec recomputes it as a fresh job instead of hitting the result cache.
+func TestRetentionGC(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec()
+
+	s1 := newScheduler(t, Config{Workers: 2, StateDir: dir, Retain: 100 * time.Millisecond})
+	v, _, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fv := waitState(t, s1, v.ID); fv.State != StateCompleted {
+		t.Fatalf("job: %s (%s)", fv.State, fv.Error)
+	}
+	// The watchdog GC fires within a tick or two of the window lapsing.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, ok := s1.Get(v.ID); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("terminal job never collected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := len(s1.List()); n != 0 {
+		t.Fatalf("job table not empty after GC: %d jobs", n)
+	}
+	for _, path := range []string{
+		filepath.Join(dir, "jobs", v.ID+".json"),
+		filepath.Join(dir, "journals", v.ID+".ckpt"),
+	} {
+		// Removal happens just after the table unlink; give it a moment.
+		st := time.Now().Add(5 * time.Second)
+		for {
+			if _, err := os.Stat(path); os.IsNotExist(err) {
+				break
+			}
+			if time.Now().After(st) {
+				t.Fatalf("state file survived GC: %s", path)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	s1.Close()
+
+	// Restart: the collected job must NOT be re-admitted.
+	s2 := newScheduler(t, Config{Workers: 2, StateDir: dir, Retain: time.Hour})
+	if _, ok := s2.Get(v.ID); ok {
+		t.Fatal("collected job resurrected by restart")
+	}
+	if n := len(s2.List()); n != 0 {
+		t.Fatalf("restart re-admitted %d collected jobs", n)
+	}
+
+	// Resubmitting the identical spec is a cache MISS now: a fresh job
+	// with the same content address, recomputed from scratch.
+	v2, dup, err := s2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup {
+		t.Fatal("resubmit after GC reported a dedup hit")
+	}
+	if v2.ID != v.ID {
+		t.Fatalf("content address changed: %s vs %s", v2.ID, v.ID)
+	}
+	if fv := waitState(t, s2, v2.ID); fv.State != StateCompleted {
+		t.Fatalf("recomputed job: %s (%s)", fv.State, fv.Error)
+	}
+	got, _ := s2.Result(v2.ID)
+	if want := directResult(t, spec); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recomputed result differs from direct run")
 	}
 }
 

@@ -103,6 +103,11 @@ type Index struct {
 	// rebuilds, nil-dirty updates and fallback bails leave it inexact.
 	changed     []bool
 	changeExact bool
+
+	// tiling, when non-nil, reroutes the counting sort and the delta emit
+	// through tile-parallel passes (see EnableTiling in tiling.go). The
+	// resulting index state is bit-identical either way.
+	tiling *Tiling
 }
 
 // Span is one contiguous CSR range: parallel id and coordinate slices
@@ -218,6 +223,11 @@ func (ix *Index) RebuildXYCells(xs, ys []float64, cells []int32) {
 	copy(ix.xs, xs)
 	copy(ix.ys, ys)
 	ix.changeExact = false
+	if tl := ix.tiling; tl != nil {
+		copy(ix.cellOf, cells)
+		tl.rebuild()
+		return
+	}
 	starts := ix.starts
 	clear(starts)
 	cellOf := ix.cellOf
@@ -263,6 +273,10 @@ func (ix *Index) ChangedBuckets() (marks []bool, exact bool) {
 func (ix *Index) rebuildOwned() {
 	ix.changeExact = false
 	ix.ClassifyInto(ix.cellOf, ix.xs, ix.ys)
+	if tl := ix.tiling; tl != nil {
+		tl.rebuild()
+		return
+	}
 	starts := ix.starts
 	clear(starts)
 	for _, c := range ix.cellOf {

@@ -170,18 +170,44 @@ func (ix *Index) updateImpl(xs, ys []float64, dirty []bool, cells []int32) {
 			cells = ix.cellScratch[:n]
 			kernel.Buckets(cells, xsn, ysn, invR, int32(cols))
 		}
-		for i, c := range cells {
-			if old := cellOf[i]; old != c {
-				cellOf[i] = c
-				moved[i] = true
+		if tl := ix.tiling; tl != nil {
+			// Tiled twist on pass 1: the compare scan — the only O(n) part —
+			// runs sharded and side-effect free, and the per-bucket
+			// bookkeeping replays over just the merged mover list (cheap:
+			// movers are a small minority or we bail anyway). The bail can
+			// reuse the fresh classification directly instead of
+			// re-deriving it.
+			movers = tl.compareScan(cells, cellOf, movers)
+			ix.movers = movers
+			if len(movers) > maxMovers {
+				copy(cellOf, cells)
+				tl.rebuild()
+				return
+			}
+			for _, id := range movers {
+				c := cells[id]
+				old := cellOf[id]
+				cellOf[id] = c
+				moved[id] = true
 				delta[old]--
 				delta[c]++
 				ocount[old]++
 				mstarts[c+1]++
-				movers = append(movers, int32(i))
-				if len(movers) > maxMovers {
-					bailed = true
-					break
+			}
+		} else {
+			for i, c := range cells {
+				if old := cellOf[i]; old != c {
+					cellOf[i] = c
+					moved[i] = true
+					delta[old]--
+					delta[c]++
+					ocount[old]++
+					mstarts[c+1]++
+					movers = append(movers, int32(i))
+					if len(movers) > maxMovers {
+						bailed = true
+						break
+					}
 				}
 			}
 		}
@@ -234,7 +260,11 @@ func (ix *Index) updateImpl(xs, ys []float64, dirty []bool, cells []int32) {
 	if len(movers) == 0 {
 		// Nobody changed bucket: ids and starts are already exact; only the
 		// CSR coordinate streams must be refreshed from the new positions.
-		ix.refillCSR()
+		if tl := ix.tiling; tl != nil {
+			tl.refillTiled()
+		} else {
+			ix.refillCSR()
+		}
 		return
 	}
 
@@ -262,17 +292,43 @@ func (ix *Index) updateImpl(xs, ys []float64, dirty []bool, cells []int32) {
 	}
 
 	// Pass 2: emit ids and coordinates to their final positions in one
-	// bucket sweep. The loop body is specialized per bucket event type —
-	// most buckets saw no event at all (tight fill loop, no flag loads),
-	// and most of the rest saw only departures or only arrivals — so the
-	// common paths carry no dead branches and the coordinate gathers
-	// pipeline.
+	// bucket sweep (emitBuckets), or tile-parallel when a tiling is
+	// attached — every bucket's output range is fixed by newStarts, so any
+	// partition of the bucket range into disjoint emit calls produces the
+	// same arrays.
+	if tl := ix.tiling; tl != nil {
+		tl.emitTiled(xs, ys, mby)
+	} else {
+		ix.emitBuckets(0, m, xs, ys, mby)
+	}
+	for _, id := range movers {
+		moved[id] = false // surgical reset; no O(n) clear per step
+	}
+	ix.ids, ix.idsAlt = ix.idsAlt, ix.ids
+	ix.starts, ix.startsAlt = ix.startsAlt, ix.starts
+}
+
+// emitBuckets runs the delta update's emit sweep over buckets [c0, c1):
+// each surviving id and its fresh coordinates are written directly to
+// their final positions (ids into the ping-pong target idsAlt, offsets
+// from startsAlt). The write cursor starts at startsAlt[c0] and every
+// bucket writes exactly its new occupancy, so disjoint bucket ranges can
+// be emitted independently and in any order. The loop body is specialized
+// per bucket event type — most buckets saw no event at all (tight fill
+// loop, no flag loads), and most of the rest saw only departures or only
+// arrivals — so the common paths carry no dead branches and the
+// coordinate gathers pipeline.
+func (ix *Index) emitBuckets(c0, c1 int, xs, ys []float64, mby []int32) {
+	oldStarts := ix.starts
+	mstarts := ix.mstarts
+	ocount := ix.ocount
+	moved := ix.moved
 	oldIds := ix.ids
 	newIds := ix.idsAlt
 	cx := ix.cx
 	cy := ix.cy
-	w := int32(0)
-	for c := 0; c < m; c++ {
+	w := ix.startsAlt[c0]
+	for c := c0; c < c1; c++ {
 		si, sHi := oldStarts[c], oldStarts[c+1]
 		mi, mHi := mstarts[c], mstarts[c+1]
 		switch {
@@ -350,11 +406,6 @@ func (ix *Index) updateImpl(xs, ys []float64, dirty []bool, cells []int32) {
 			}
 		}
 	}
-	for _, id := range movers {
-		moved[id] = false // surgical reset; no O(n) clear per step
-	}
-	ix.ids, ix.idsAlt = newIds, oldIds
-	ix.starts, ix.startsAlt = newStarts, oldStarts
 }
 
 // adopt installs xs and ys as the index's id-indexed coordinate view
