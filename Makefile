@@ -9,7 +9,7 @@ GO ?= go
 GOTAGS ?=
 TAGFLAG = $(if $(GOTAGS),-tags $(GOTAGS))
 
-.PHONY: ci ci-purego check fmt vet build test test-race test-scale cover fuzz-short test-fault test-service bench bench-allocs bench-json bench-compare docs clean clean-check
+.PHONY: ci ci-purego check fmt vet build test test-race test-scale test-trace cover fuzz-short test-fault test-service bench bench-allocs bench-json bench-compare docs clean clean-check
 
 # ci is the full local tier-1 gate: the hardware-independent checks plus
 # the fault-injection suite, the population-scale tiled-identity smoke,
@@ -17,7 +17,7 @@ TAGFLAG = $(if $(GOTAGS),-tags $(GOTAGS))
 # run and the ns/op regression gate against the committed trajectory
 # file (which self-disables on non-comparable hardware; see
 # bench-compare).
-ci: check test-fault test-service test-scale fuzz-short bench bench-compare
+ci: check test-trace test-fault test-service test-scale fuzz-short bench bench-compare
 
 # ci-purego is the fallback-path leg of the matrix: the same
 # hardware-independent gate with the assembly kernel compiled out.
@@ -62,6 +62,17 @@ test-race:
 # hence the env gate instead of running under plain `go test ./...`.
 test-scale:
 	FLOODSIM_SCALE_TEST=1 $(GO) test $(TAGFLAG) -run TestScaleBitIdentity ./internal/core/
+
+# test-trace gates the recording stack end to end: the tracev2 codec
+# property tests (round-trip, seek, torn-tail and corruption discipline,
+# writer zero-alloc) plus the public-API round-trip matrix — record a
+# real flood across tiled/parallel worlds and both index-sync regimes,
+# replay it, and require bit-identical positions, informed sets and
+# discovery order. -count=1 keeps the randomized legs honest across
+# repeated ci runs on an unchanged tree.
+test-trace:
+	$(GO) test $(TAGFLAG) -count=1 ./internal/tracev2/
+	$(GO) test $(TAGFLAG) -count=1 -run 'TestRecord|TestObserver|TestSourceExplicit' .
 
 # cover enforces the coverage floor on the mobility layer: the SoA
 # populations duplicate every model's stepping logic, so untested lines

@@ -85,6 +85,7 @@ import (
 	"manhattanflood/internal/mobility"
 	"manhattanflood/internal/sim"
 	"manhattanflood/internal/spatialindex"
+	"manhattanflood/internal/tracev2"
 )
 
 // Result is one benchmark measurement.
@@ -197,6 +198,9 @@ func main() {
 		{"kernel_span_256", benchKernelSpan(256)},
 		{"classify_100k", benchClassify(100000)},
 		{"full_flood_2k", benchFullFlood(2000)},
+		{"trace_write_100k", benchTraceWrite(100000)},
+		{"world_step_10k_traced", benchWorldStepTraced(10000)},
+		{"flood_step_4k_traced", benchFloodStepTraced(4000)},
 		{"sweep_trials_e03", benchSweepTrials(true)},
 		{"sweep_trials_e03_fresh", benchSweepTrials(false)},
 	}
@@ -773,6 +777,148 @@ func benchKernelSpan(n int) func(b *testing.B) {
 	}
 }
 
+// newTraceWriteOp builds a steady-state trace WriteStep op at population
+// scale: two consecutive world frames are replayed in ping-pong order (as
+// in benchIndexUpdate), so every op encodes one real mobility step's worth
+// of position deltas, plus a representative flooding block (a one-third
+// informed bitmap era with a few hundred newly-informed ids per step).
+// The io.Discard sink isolates encoding cost from the filesystem.
+func newTraceWriteOp(n int) (op func() error, err error) {
+	l := math.Sqrt(float64(n))
+	w, err := sim.NewWorld(sim.Params{N: n, L: l, R: 4, V: 0.3, Seed: 1}, nil)
+	if err != nil {
+		return nil, err
+	}
+	ax := append([]float64(nil), w.X()...)
+	ay := append([]float64(nil), w.Y()...)
+	w.Step()
+	bx := append([]float64(nil), w.X()...)
+	by := append([]float64(nil), w.Y()...)
+	informed := make([]bool, n)
+	for i := 0; i < n/3; i++ {
+		informed[i*3] = true
+	}
+	newly := make([]int32, 256)
+	for i := range newly {
+		newly[i] = int32(i * (n / len(newly)))
+	}
+	wr, err := tracev2.NewWriter(io.Discard, tracev2.RunInfo{
+		N: n, L: l, R: 4, V: 0.3, Seed: 1, Model: "mrwp",
+	})
+	if err != nil {
+		return nil, err
+	}
+	step := 0
+	return func() error {
+		step++
+		if step%2 == 0 {
+			return wr.WriteStep(step, ax, ay, informed, newly)
+		}
+		return wr.WriteStep(step, bx, by, informed, newly)
+	}, nil
+}
+
+// benchTraceWrite measures the columnar trace writer's per-step cost in
+// isolation at population scale — the budget the <10% recording-overhead
+// target is judged against (compare with scale_world_step_100k_flat /
+// scale_flood_100k_flat for the uninstrumented step).
+func benchTraceWrite(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		op, err := newTraceWriteOp(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := op(); err != nil { // warm: keyframe + buffer growth
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := op(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchWorldStepTraced is world_step_10k with a trace recorder attached
+// through the production step hook: the gap to world_step_10k is the
+// whole-stack recording overhead on the world-only path.
+func benchWorldStepTraced(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		w, err := sim.NewWorld(sim.Params{N: n, L: 100, R: 4, V: 0.3, Seed: 1}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wr, err := tracev2.NewWriter(io.Discard, tracev2.RunInfo{
+			N: n, L: 100, R: 4, V: 0.3, Seed: 1, Model: "mrwp",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var hookErr error
+		w.SetStepHook(func() {
+			if err := wr.WriteStep(w.Time(), w.X(), w.Y(), nil, nil); err != nil {
+				hookErr = err
+			}
+		})
+		w.Step() // warm: keyframe + buffer growth
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Step()
+		}
+		b.StopTimer()
+		if hookErr != nil {
+			b.Fatal(hookErr)
+		}
+	}
+}
+
+// benchFloodStepTraced is flood_step_4k plus the per-step recording work
+// the run loop performs with an observer attached (Step, then one
+// WriteStep with the informed column and the step's fresh ids): the gap
+// to flood_step_4k is the recording overhead on the flooding path.
+func benchFloodStepTraced(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		l := math.Sqrt(float64(n))
+		// One writer across flood restarts: a restart's step discontinuity
+		// forces a keyframe (same cost as the steady-state keyframe
+		// cadence) without re-growing the assembly buffer inside the
+		// measured region.
+		wr, err := tracev2.NewWriter(io.Discard, tracev2.RunInfo{
+			N: n, L: l, R: 4, V: 0.3, Seed: 1, Model: "mrwp",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		newFlood := func(seed uint64) (*core.Flooding, *sim.World) {
+			w, err := sim.NewWorld(sim.Params{N: n, L: l, R: 4, V: 0.3, Seed: seed}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f, err := core.NewFlooding(w, w.NearestAgent(geom.Pt(l/2, l/2)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return f, w
+		}
+		seed := uint64(1)
+		f, w := newFlood(seed)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if f.Done() {
+				b.StopTimer()
+				seed++
+				f, w = newFlood(seed)
+				b.StartTimer()
+			}
+			f.Step()
+			if err := wr.WriteStep(w.Time(), w.X(), w.Y(), f.Informed(), f.LastStepNewlyInformed()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // allocCheck is one hot loop of the -allocs gate: warm the scratch
 // buffers, then require zero allocations per op in the steady state.
 type allocCheck struct {
@@ -830,6 +976,18 @@ func runAllocGate(w io.Writer) int {
 				}
 			}
 			return op, op, nil
+		}},
+		{name: "trace_write_100k", warmups: 3, setup: func() (func(), func(), error) {
+			op, err := newTraceWriteOp(100000)
+			if err != nil {
+				return nil, nil, err
+			}
+			wrapped := func() {
+				if err := op(); err != nil {
+					panic(err)
+				}
+			}
+			return wrapped, wrapped, nil
 		}},
 		{name: "index_update_10k", warmups: 8, setup: func() (func(), func(), error) {
 			const l, r = 100.0, 4.0

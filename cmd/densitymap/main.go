@@ -21,8 +21,8 @@ import (
 	"manhattanflood/internal/cells"
 	"manhattanflood/internal/dist"
 	"manhattanflood/internal/geom"
+	"manhattanflood/internal/render"
 	"manhattanflood/internal/stats"
-	"manhattanflood/internal/trace"
 )
 
 func main() {
@@ -55,12 +55,18 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		for s := 0; s < *steps; s++ {
-			for _, p := range sim.Positions() {
-				g.Add(p.X, p.Y)
-			}
+		// Accumulate the time-0 snapshot with the one-off accessor, then
+		// stream the remaining steps through the observer seam: the grid
+		// reads the live position columns with no per-step snapshot copy
+		// (20k agents x hundreds of steps of avoided allocation).
+		for _, p := range sim.Positions() {
+			g.Add(p.X, p.Y)
+		}
+		sim.Attach(gridObserver{g})
+		for s := 1; s < *steps; s++ {
 			sim.Step()
 		}
+		sim.Detach()
 		field = make([][]float64, *bins)
 		for iy := 0; iy < *bins; iy++ {
 			field[iy] = make([]float64, *bins)
@@ -73,7 +79,7 @@ func main() {
 	}
 
 	fmt.Printf("Figure 1 — stationary spatial density (%s, L=%.4g, origin bottom-left):\n\n", *mode, *l)
-	fmt.Println(trace.ASCIIHeatmap(field))
+	fmt.Println(render.ASCIIHeatmap(field))
 
 	if *pgm != "" {
 		f, err := os.Create(*pgm)
@@ -81,7 +87,7 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		if err := trace.WritePGM(f, field); err != nil {
+		if err := render.WritePGM(f, field); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n\n", *pgm)
@@ -107,7 +113,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	t := trace.NewTable(fmt.Sprintf("destination law at (L/3, L/4) = (%.4g, %.4g) — Theorem 2", pos.X, pos.Y),
+	t := render.NewTable(fmt.Sprintf("destination law at (L/3, L/4) = (%.4g, %.4g) — Theorem 2", pos.X, pos.Y),
 		"component", "probability mass")
 	t.AddRow("cross total (paper: exactly 1/2)", d.CrossMass())
 	for _, a := range []dist.Arm{dist.ArmSouth, dist.ArmWest, dist.ArmNorth, dist.ArmEast} {
@@ -124,4 +130,17 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "densitymap:", err)
 	os.Exit(1)
+}
+
+// gridObserver streams every observed step's live position columns into
+// the histogram grid.
+type gridObserver struct {
+	g *stats.Grid2D
+}
+
+func (o gridObserver) ObserveStep(v manhattan.StepView) error {
+	for i := range v.X {
+		o.g.Add(v.X[i], v.Y[i])
+	}
+	return nil
 }

@@ -7,14 +7,17 @@
 //	floodsim [-n 4000] [-l 0] [-r 5] [-v 0.3] [-seed 1]
 //	         [-model mrwp|rwp|walk|direction] [-source center|corner|random]
 //	         [-max-steps 100000] [-chaining] [-series] [-timeout 1m]
-//	         [-tiles 0] [-workers 0]
+//	         [-tiles 0] [-workers 0] [-trace run.mft]
 //
 // -l 0 (default) uses the paper's standard L = sqrt(n). -tiles K runs
 // the tiled world (K x K tiles, bit-identical results, worthwhile from
-// ~100k agents — see the 1M-agent quickstart in README.md).
+// ~100k agents — see the 1M-agent quickstart in README.md). -trace
+// records the run to a columnar trace file replayable with cmd/traceql
+// (see README.md, "Recording and replaying runs").
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -25,7 +28,7 @@ import (
 	"syscall"
 
 	manhattan "manhattanflood"
-	"manhattanflood/internal/trace"
+	"manhattanflood/internal/render"
 )
 
 func main() {
@@ -42,6 +45,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); on expiry the run stops like an interrupt")
 	tiles := flag.Int("tiles", 0, "tiles per side for the tiled world (0 = flat; results are bit-identical)")
 	workers := flag.Int("workers", 0, "worker goroutines for stepping and tiled passes (0 = sequential)")
+	tracePath := flag.String("trace", "", "record the run to this columnar trace file (analyze with traceql)")
 	flag.Parse()
 
 	side := *l
@@ -96,6 +100,37 @@ func main() {
 		}
 	}
 
+	// finishTrace detaches the recorder and flushes the trace file; called
+	// on every post-run path (os.Exit skips defers), so even an
+	// interrupted run leaves a committed, replayable prefix on disk.
+	finishTrace := func() {}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "floodsim:", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriterSize(f, 1<<20)
+		rec, err := manhattan.NewRecorder(bw, sim, manhattan.RecordOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "floodsim:", err)
+			os.Exit(1)
+		}
+		sim.Attach(rec)
+		finishTrace = func() {
+			sim.Detach()
+			err := bw.Flush()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "floodsim: flushing trace:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace: %d frames -> %s\n", rec.Frames(), *tracePath)
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *timeout > 0 {
@@ -111,6 +146,7 @@ func main() {
 		Chaining:     *chaining,
 		RecordSeries: *series,
 	})
+	finishTrace()
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintf(os.Stderr, "floodsim: -timeout %s exceeded at step %d: %d/%d informed\n",
@@ -136,7 +172,7 @@ func main() {
 		for i, c := range res.Series {
 			floats[i] = float64(c)
 		}
-		fmt.Printf("informed-count curve: %s\n", trace.Sparkline(floats, 60))
+		fmt.Printf("informed-count curve: %s\n", render.Sparkline(floats, 60))
 		fmt.Println("t\tinformed")
 		for t, c := range res.Series {
 			fmt.Printf("%d\t%d\n", t, c)

@@ -1,0 +1,230 @@
+// Command traceql analyzes recorded run traces offline: the E-series
+// statistics that previously required re-simulating a world are computed
+// straight from a trace file, so one recorded run can be analyzed many
+// times (record once, analyze many) and a tier-2 failure can be dissected
+// after the fact on any machine.
+//
+// Usage:
+//
+//	traceql [-mode stats|series|dump] [-step N] [-tsv] trace.mft
+//
+// Modes:
+//
+//	stats   one-line-per-metric summary: header provenance, frame range,
+//	        flooding time, informed-count milestones (50%/90%/99%/100%),
+//	        newly-informed peak, displacement statistics (default)
+//	series  per-step table: step, informed count, newly informed,
+//	        mean step displacement
+//	dump    the full agent state at -step N: id, x, y, informed
+//
+// -tsv switches the table output from aligned columns to tab-separated
+// values for downstream tooling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	manhattan "manhattanflood"
+	"manhattanflood/internal/render"
+)
+
+func main() {
+	mode := flag.String("mode", "stats", "stats, series or dump")
+	step := flag.Int("step", -1, "step to dump (dump mode; -1 = last)")
+	tsv := flag.Bool("tsv", false, "emit TSV instead of aligned columns")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceql [-mode stats|series|dump] [-step N] [-tsv] trace.mft")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *mode, *step, *tsv); err != nil {
+		fmt.Fprintln(os.Stderr, "traceql:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, mode string, step int, tsv bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rp, err := manhattan.OpenReplay(f)
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case "stats":
+		return stats(rp, tsv)
+	case "series":
+		return series(rp, tsv)
+	case "dump":
+		return dump(rp, step, tsv)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+func emit(t *render.Table, tsv bool) error {
+	if tsv {
+		return t.WriteTSV(os.Stdout)
+	}
+	return t.Render(os.Stdout)
+}
+
+// stepStats is the per-frame aggregate the analysis passes share.
+type stepStats struct {
+	step     int
+	informed int
+	newly    int
+	meanDisp float64 // mean per-agent displacement from the previous frame
+}
+
+// scan replays the whole trace once, computing the per-step aggregates.
+func scan(rp *manhattan.Replay) ([]stepStats, error) {
+	var out []stepStats
+	var prevX, prevY []float64
+	for {
+		if err := rp.Next(); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, err
+		}
+		v := rp.View()
+		st := stepStats{step: v.Step, informed: -1}
+		if v.Informed != nil {
+			st.informed = 0
+			for _, inf := range v.Informed {
+				if inf {
+					st.informed++
+				}
+			}
+			st.newly = len(v.NewlyInformed)
+		}
+		if prevX != nil && len(out) > 0 && out[len(out)-1].step+1 == v.Step {
+			var sum float64
+			for i := range v.X {
+				dx := v.X[i] - prevX[i]
+				dy := v.Y[i] - prevY[i]
+				sum += math.Hypot(dx, dy)
+			}
+			st.meanDisp = sum / float64(len(v.X))
+		}
+		prevX = append(prevX[:0], v.X...)
+		prevY = append(prevY[:0], v.Y...)
+		out = append(out, st)
+	}
+}
+
+func stats(rp *manhattan.Replay, tsv bool) error {
+	info := rp.Info()
+	ss, err := scan(rp)
+	if err != nil {
+		return err
+	}
+	t := render.NewTable("trace statistics", "metric", "value")
+	t.AddRow("model", info.Model)
+	t.AddRow("n", info.N)
+	t.AddRow("l", info.L)
+	t.AddRow("r", info.R)
+	t.AddRow("v", info.V)
+	t.AddRow("seed", info.Seed)
+	t.AddRow("kernel", info.KernelPath)
+	t.AddRow("frames", len(ss))
+	if len(ss) == 0 {
+		return emit(t, tsv)
+	}
+	t.AddRow("first_step", ss[0].step)
+	t.AddRow("last_step", ss[len(ss)-1].step)
+	// Flooding metrics: milestones of the informed-count series.
+	floodTime := -1
+	maxNewly, maxNewlyStep := 0, -1
+	milestones := []struct {
+		frac  float64
+		label string
+		step  int
+	}{
+		{0.5, "t_50pct", -1}, {0.9, "t_90pct", -1}, {0.99, "t_99pct", -1},
+	}
+	hasFlood := false
+	var meanDisp float64
+	dispFrames := 0
+	for _, st := range ss {
+		if st.meanDisp > 0 {
+			meanDisp += st.meanDisp
+			dispFrames++
+		}
+		if st.informed < 0 {
+			continue
+		}
+		hasFlood = true
+		if st.newly > maxNewly {
+			maxNewly, maxNewlyStep = st.newly, st.step
+		}
+		for i := range milestones {
+			if milestones[i].step < 0 && float64(st.informed) >= milestones[i].frac*float64(info.N) {
+				milestones[i].step = st.step
+			}
+		}
+		if floodTime < 0 && st.informed == info.N {
+			floodTime = st.step
+		}
+	}
+	if hasFlood {
+		t.AddRow("flooding_time", floodTime)
+		for _, m := range milestones {
+			t.AddRow(m.label, m.step)
+		}
+		t.AddRow("max_newly", maxNewly)
+		t.AddRow("max_newly_step", maxNewlyStep)
+	}
+	if dispFrames > 0 {
+		t.AddRow("mean_step_displacement", fmt.Sprintf("%.6f", meanDisp/float64(dispFrames)))
+	}
+	return emit(t, tsv)
+}
+
+func series(rp *manhattan.Replay, tsv bool) error {
+	ss, err := scan(rp)
+	if err != nil {
+		return err
+	}
+	t := render.NewTable("per-step series", "step", "informed", "newly", "mean_disp")
+	for _, st := range ss {
+		informed := "-"
+		newly := "-"
+		if st.informed >= 0 {
+			informed = fmt.Sprint(st.informed)
+			newly = fmt.Sprint(st.newly)
+		}
+		t.AddRow(st.step, informed, newly, fmt.Sprintf("%.6f", st.meanDisp))
+	}
+	return emit(t, tsv)
+}
+
+func dump(rp *manhattan.Replay, step int, tsv bool) error {
+	if step < 0 {
+		_, last, ok := rp.Steps()
+		if !ok {
+			return fmt.Errorf("empty trace")
+		}
+		step = last
+	}
+	if err := rp.Seek(step); err != nil {
+		return err
+	}
+	v := rp.View()
+	t := render.NewTable(fmt.Sprintf("state at step %d", step), "id", "x", "y", "informed")
+	for i := range v.X {
+		informed := "-"
+		if v.Informed != nil {
+			informed = fmt.Sprint(v.Informed[i])
+		}
+		t.AddRow(i, fmt.Sprintf("%.9g", v.X[i]), fmt.Sprintf("%.9g", v.Y[i]), informed)
+	}
+	return emit(t, tsv)
+}

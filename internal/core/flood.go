@@ -150,6 +150,14 @@ type Flooding struct {
 	catch    panicsafe.Catcher
 	skipTmp  []bool // scratch: horizontal dilation pass
 	lastTime int
+
+	// observer, when set (WithStepObserver), is invoked by Run/RunContext
+	// after every completed flooding step with the ids informed during
+	// that step. See the option for the full contract. obsStarted records
+	// that the run-start frame (the source as the sole fresh agent) has
+	// been emitted, so a continued RunContext does not replay it.
+	observer   func(newly []int32) error
+	obsStarted bool
 }
 
 // FloodOption customizes a Flooding run.
@@ -174,6 +182,21 @@ func WithPartition(p *cells.Partition) FloodOption {
 // retrievable via Series.
 func WithSeries(on bool) FloodOption {
 	return func(f *Flooding) { f.recordSeries = on }
+}
+
+// WithStepObserver registers fn to be invoked by Run/RunContext after
+// every completed flooding step (world advance + transmission round +
+// chaining closure), with the ids informed during that step in their
+// deterministic discovery order — sweep hits in bucket-major order, then
+// chained-in agents in BFS order. The slice is reused by the next step;
+// observers must not retain it. A non-nil error aborts the run at that
+// step boundary: RunContext returns the partial Result together with the
+// observer's error, leaving the flooding state consistent (the step that
+// was observed has fully happened). This is the recording seam the public
+// trace recorder hangs off; it deliberately fires per completed step, not
+// inside the sweep, so the zero-allocation inner loops stay untouched.
+func WithStepObserver(fn func(newly []int32) error) FloodOption {
+	return func(f *Flooding) { f.observer = fn }
 }
 
 // NewFlooding creates a flooding process over w with the given source
@@ -238,6 +261,7 @@ func (f *Flooding) reset(source int) {
 	f.fresh = append(f.fresh[:0], int32(source))
 	f.sweepSkip = nil
 	f.lastTime = f.w.Time()
+	f.obsStarted = false
 	f.updateCZ()
 }
 
@@ -249,6 +273,20 @@ func (f *Flooding) InformedCount() int { return f.count }
 
 // IsInformed reports whether agent i is informed.
 func (f *Flooding) IsInformed(i int) bool { return f.informed[i] }
+
+// Informed returns the live informed-flags slice, indexed by agent id. It
+// is owned by the flooding process and rewritten by Step/Reset; callers
+// must treat it as read-only and must not retain it across steps. It
+// exists so per-step observers (WithStepObserver) can expose the informed
+// set without an O(n) copy per step.
+func (f *Flooding) Informed() []bool { return f.informed }
+
+// LastStepNewlyInformed returns the ids informed during the most recent
+// Step — sweep hits in bucket-major order, then chained-in agents in BFS
+// order (exactly the order WithStepObserver sees). The slice is reused by
+// the next Step; callers must not retain it. After Reset it holds only
+// the source.
+func (f *Flooding) LastStepNewlyInformed() []int32 { return f.fresh }
 
 // Done reports whether every agent is informed.
 func (f *Flooding) Done() bool { return f.count == f.w.N() }
@@ -1009,6 +1047,23 @@ func (f *Flooding) RunContext(ctx context.Context, maxSteps int) (Result, error)
 		return Result{}, fmt.Errorf("core: negative step budget %d", maxSteps)
 	}
 	var err error
+	// Run-start frame: before any stepping, fresh holds exactly the source,
+	// so the observer sees the initial informed set and the pre-run world
+	// time. Emitted once per Reset, not per RunContext call, so continuing
+	// a partial run does not duplicate it.
+	if f.observer != nil && !f.obsStarted {
+		f.obsStarted = true
+		if oerr := f.observer(f.fresh); oerr != nil {
+			return Result{
+				Completed: f.Done(),
+				Time:      f.w.Time(),
+				CZTime:    f.czTime,
+				SuburbLag: -1,
+				Informed:  f.count,
+				N:         f.w.N(),
+			}, oerr
+		}
+	}
 	deadline := f.w.Time() + maxSteps
 	for !f.Done() && f.w.Time() < deadline {
 		if ctx != nil {
@@ -1018,6 +1073,12 @@ func (f *Flooding) RunContext(ctx context.Context, maxSteps int) (Result, error)
 			}
 		}
 		f.Step()
+		if f.observer != nil {
+			if oerr := f.observer(f.fresh); oerr != nil {
+				err = oerr
+				break
+			}
+		}
 	}
 	res := Result{
 		Completed: f.Done(),

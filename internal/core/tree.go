@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -138,10 +139,27 @@ func (f *TreeFlooding) Step() int {
 
 // Run steps until done or maxSteps, returning (floodingTime, completed).
 func (f *TreeFlooding) Run(maxSteps int) (int, bool) {
+	t, done, _ := f.RunContext(nil, maxSteps)
+	return t, done
+}
+
+// RunContext is Run with cooperative cancellation, checked once per step
+// at the step boundary (the same contract as Flooding.RunContext): on
+// cancellation the partial state is left consistent and the context's
+// error is returned alongside the progress so far. A nil context never
+// cancels.
+func (f *TreeFlooding) RunContext(ctx context.Context, maxSteps int) (int, bool, error) {
+	var err error
 	for s := 0; s < maxSteps && !f.Done(); s++ {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				err = cerr
+				break
+			}
+		}
 		f.Step()
 	}
-	return f.w.Time(), f.Done()
+	return f.w.Time(), f.Done(), err
 }
 
 // TreeStats summarizes the completed infection tree.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -124,10 +125,24 @@ func (f *ParsimoniousFlooding) Step() int {
 // Run steps until completion or maxSteps, returning (floodingTime,
 // completed).
 func (f *ParsimoniousFlooding) Run(maxSteps int) (int, bool) {
+	t, done, _ := f.RunContext(nil, maxSteps)
+	return t, done
+}
+
+// RunContext is Run with cooperative cancellation, checked once per step
+// at the step boundary; a nil context never cancels.
+func (f *ParsimoniousFlooding) RunContext(ctx context.Context, maxSteps int) (int, bool, error) {
+	var err error
 	for s := 0; s < maxSteps && !f.Done(); s++ {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				err = cerr
+				break
+			}
+		}
 		f.Step()
 	}
-	return f.w.Time(), f.Done()
+	return f.w.Time(), f.Done(), err
 }
 
 // KGossip is the push-gossip variant: each informed agent forwards to at
@@ -213,8 +228,22 @@ func (g *KGossip) Step() int {
 // Run steps until completion or maxSteps, returning (floodingTime,
 // completed).
 func (g *KGossip) Run(maxSteps int) (int, bool) {
+	t, done, _ := g.RunContext(nil, maxSteps)
+	return t, done
+}
+
+// RunContext is Run with cooperative cancellation, checked once per step
+// at the step boundary; a nil context never cancels.
+func (g *KGossip) RunContext(ctx context.Context, maxSteps int) (int, bool, error) {
+	var err error
 	for s := 0; s < maxSteps && !g.Done(); s++ {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				err = cerr
+				break
+			}
+		}
 		g.Step()
 	}
-	return g.w.Time(), g.Done()
+	return g.w.Time(), g.Done(), err
 }

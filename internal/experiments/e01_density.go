@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"manhattanflood/internal/dist"
+	"manhattanflood/internal/render"
 	"manhattanflood/internal/sim"
 	"manhattanflood/internal/stats"
-	"manhattanflood/internal/trace"
 )
 
 // E01Result quantifies how closely the simulated stationary spatial
@@ -76,7 +76,7 @@ func E01SpatialDensity(cfg Config) (E01Result, error) {
 		L1: l1, MaxAbs: maxAbs,
 		RatioEmpirical: ratioEmp,
 		RatioPredicted: ratioPred,
-		Heatmap:        trace.ASCIIHeatmap(field),
+		Heatmap:        render.ASCIIHeatmap(field),
 	}, nil
 }
 
@@ -85,12 +85,12 @@ func runE01(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	t := trace.NewTable("E01 stationary spatial density vs Theorem 1",
+	t := render.NewTable("E01 stationary spatial density vs Theorem 1",
 		"quantity", "measured", "paper-predicted")
 	t.AddRow("L1 distance to f(x,y)", res.L1, 0.0)
 	t.AddRow("max |density error|", res.MaxAbs, 0.0)
 	t.AddRow("center/corner density ratio", res.RatioEmpirical, res.RatioPredicted)
-	if err := render(cfg, t); err != nil {
+	if err := emit(cfg, t); err != nil {
 		return err
 	}
 	_, err = fmt.Fprintf(cfg.out(), "\nempirical density heat map (origin bottom-left):\n%s\n", res.Heatmap)

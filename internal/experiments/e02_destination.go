@@ -5,7 +5,7 @@ import (
 
 	"manhattanflood/internal/dist"
 	"manhattanflood/internal/geom"
-	"manhattanflood/internal/trace"
+	"manhattanflood/internal/render"
 )
 
 // E02Result compares the empirical destination law of stationary trips
@@ -122,7 +122,7 @@ func runE02(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	t := trace.NewTable("E02 destination law at (L/3, L/4) vs Theorem 2",
+	t := render.NewTable("E02 destination law at (L/3, L/4) vs Theorem 2",
 		"quantity", "measured", "paper-predicted")
 	t.AddRow("cross (atomic) mass", res.CrossMeasured, res.CrossPaper)
 	for _, q := range []dist.Quadrant{dist.QuadrantSW, dist.QuadrantNE, dist.QuadrantNW, dist.QuadrantSE} {
@@ -131,5 +131,5 @@ func runE02(cfg Config) error {
 	for _, a := range []dist.Arm{dist.ArmSouth, dist.ArmWest, dist.ArmNorth, dist.ArmEast} {
 		t.AddRow("arm phi_"+a.String(), res.ArmMeasured[a], res.ArmPaper[a])
 	}
-	return render(cfg, t)
+	return emit(cfg, t)
 }

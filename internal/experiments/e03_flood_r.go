@@ -3,10 +3,10 @@ package experiments
 import (
 	"math"
 
+	"manhattanflood/internal/render"
 	"manhattanflood/internal/sim"
 	"manhattanflood/internal/stats"
 	"manhattanflood/internal/theory"
-	"manhattanflood/internal/trace"
 )
 
 // E03Point is one row of the R sweep.
@@ -95,16 +95,16 @@ func runE03(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	t := trace.NewTable("E03 flooding time vs R  (n="+itoa(res.N)+", L=sqrt(n), v="+ftoa(res.V)+", source=central)",
+	t := render.NewTable("E03 flooding time vs R  (n="+itoa(res.N)+", L=sqrt(n), v="+ftoa(res.V)+", source=central)",
 		"R", "mean T", "ci95", "L/R", "S-term/v", "completed")
 	for _, p := range res.Points {
 		t.AddRow(p.R, p.MeanT, p.CI95, p.FirstTerm, p.SecondTerm, p.Completed)
 	}
-	if err := render(cfg, t); err != nil {
+	if err := emit(cfg, t); err != nil {
 		return err
 	}
-	f := trace.NewTable("E03 Theorem 3 two-term fit  T ~ a*(L/R) + b*(L^3 ln n / (R^2 n v))",
+	f := render.NewTable("E03 Theorem 3 two-term fit  T ~ a*(L/R) + b*(L^3 ln n / (R^2 n v))",
 		"a", "b", "R^2", "monotone decreasing in R")
 	f.AddRow(res.Fit.A, res.Fit.B, res.Fit.R2, res.MonotoneDecreasing)
-	return render(cfg, f)
+	return emit(cfg, f)
 }

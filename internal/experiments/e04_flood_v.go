@@ -3,9 +3,9 @@ package experiments
 import (
 	"math"
 
+	"manhattanflood/internal/render"
 	"manhattanflood/internal/sim"
 	"manhattanflood/internal/stats"
-	"manhattanflood/internal/trace"
 )
 
 // E04Point is one row of the v sweep.
@@ -93,16 +93,16 @@ func runE04(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	t := trace.NewTable("E04 flooding time vs v  (n="+itoa(res.N)+", R="+ftoa(res.R)+", source=central)",
+	t := render.NewTable("E04 flooding time vs v  (n="+itoa(res.N)+", R="+ftoa(res.R)+", source=central)",
 		"v", "mean T", "ci95", "1/v", "completed")
 	for _, p := range res.Points {
 		t.AddRow(p.V, p.MeanT, p.CI95, p.InvV, p.Completed)
 	}
-	if err := render(cfg, t); err != nil {
+	if err := emit(cfg, t); err != nil {
 		return err
 	}
-	f := trace.NewTable("E04 fit  T ~ a + b*(1/v)  (Theorem 3 predicts b ~ S)",
+	f := render.NewTable("E04 fit  T ~ a + b*(1/v)  (Theorem 3 predicts b ~ S)",
 		"a (CZ phase)", "b", "b / S-theta", "R^2", "T increasing as v->0")
 	f.AddRow(res.Fit.Intercept, res.Fit.Slope, res.BPerS, res.Fit.R2, res.Increasing)
-	return render(cfg, f)
+	return emit(cfg, f)
 }

@@ -3,9 +3,9 @@ package experiments
 import (
 	"math"
 
+	"manhattanflood/internal/render"
 	"manhattanflood/internal/sim"
 	"manhattanflood/internal/theory"
-	"manhattanflood/internal/trace"
 )
 
 // E05Point is one row of the Central Zone timing sweep.
@@ -71,10 +71,10 @@ func runE05(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	t := trace.NewTable("E05 Central Zone completion vs Theorem 10 bound  (n="+itoa(res.N)+", v=0.35)",
+	t := render.NewTable("E05 Central Zone completion vs Theorem 10 bound  (n="+itoa(res.N)+", v=0.35)",
 		"R", "mean CZ time", "18L/R (paper)", "mean total T", "suburb empty (Cor 12)", "within bound")
 	for _, p := range res.Points {
 		t.AddRow(p.R, p.MeanCZTime, p.Bound18LR, p.MeanTotalT, p.SuburbEmpty, p.WithinBound)
 	}
-	return render(cfg, t)
+	return emit(cfg, t)
 }

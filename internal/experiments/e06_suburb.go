@@ -4,8 +4,8 @@ import (
 	"math"
 
 	"manhattanflood/internal/cells"
+	"manhattanflood/internal/render"
 	"manhattanflood/internal/stats"
-	"manhattanflood/internal/trace"
 )
 
 // E06Point is one row of the Suburb-extent scan.
@@ -79,15 +79,15 @@ func runE06(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	t := trace.NewTable("E06 Suburb corner extent vs Lemma 15's S  (L=sqrt(n), R = 2.2 L sqrt(ln n/n))",
+	t := render.NewTable("E06 Suburb corner extent vs Lemma 15's S  (L=sqrt(n), R = 2.2 L sqrt(ln n/n))",
 		"n", "R", "suburb cells", "measured extent", "S (paper)", "measured/S")
 	for _, p := range res.Points {
 		t.AddRow(p.N, p.R, p.SuburbCells, p.Measured, p.BoundS, p.Ratio)
 	}
-	if err := render(cfg, t); err != nil {
+	if err := emit(cfg, t); err != nil {
 		return err
 	}
-	f := trace.NewTable("E06 scaling fit", "alpha (measured ~ S^alpha)", "all within bound")
+	f := render.NewTable("E06 scaling fit", "alpha (measured ~ S^alpha)", "all within bound")
 	f.AddRow(res.ScalingAlpha, res.AllBounded)
-	return render(cfg, f)
+	return emit(cfg, f)
 }

@@ -5,9 +5,9 @@ import (
 
 	"manhattanflood/internal/core"
 	"manhattanflood/internal/geom"
+	"manhattanflood/internal/render"
 	"manhattanflood/internal/sim"
 	"manhattanflood/internal/theory"
-	"manhattanflood/internal/trace"
 )
 
 // E07Result reproduces Theorem 18's lower bound. The theorem's mechanism:
@@ -88,11 +88,14 @@ func E07LowerBound(cfg Config) (E07Result, error) {
 			return res, err
 		}
 		source := w.NearestAgent(geom.Pt(l/2, l/2))
-		pos := w.Positions()
+		// Read the live coordinate columns directly: the world is not
+		// stepped inside this trial, so no snapshot copy is needed.
+		xs, ys := w.X(), w.Y()
 
 		// Literal event B at the optimal pocket size.
 		var inF, inEnotF bool
-		for _, q := range pos {
+		for i := range xs {
+			q := geom.Point{X: xs[i], Y: ys[i]}
 			if q.In(pocket) {
 				inF = true
 			} else if q.In(annulus) {
@@ -106,16 +109,17 @@ func E07LowerBound(cfg Config) (E07Result, error) {
 		// Strongest isolation bound over non-source agents. O(n^2) scan;
 		// n is small in this experiment by design.
 		var iso float64
-		for i := range pos {
+		for i := range xs {
 			if i == source {
 				continue
 			}
 			nn := math.Inf(1)
-			for j := range pos {
+			for j := range xs {
 				if j == i {
 					continue
 				}
-				if d := pos[i].Dist(pos[j]); d < nn {
+				dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+				if d := math.Sqrt(dx*dx + dy*dy); d < nn {
 					nn = d
 				}
 			}
@@ -164,7 +168,7 @@ func runE07(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	t := trace.NewTable("E07 Theorem 18 lower bound  (n="+itoa(res.N)+", R="+ftoa(res.R)+" = 0.6 L/n^(1/3), v=R/12, "+itoa(res.Trials)+" trials)",
+	t := render.NewTable("E07 Theorem 18 lower bound  (n="+itoa(res.N)+", R="+ftoa(res.R)+" = 0.6 L/n^(1/3), v=R/12, "+itoa(res.Trials)+" trials)",
 		"quantity", "value")
 	t.AddRow("Theorem 18 scale L/(v n^(1/3))", res.Theorem18LB)
 	t.AddRow("mean isolation bound (NN-R)/(2v)", res.MeanIsolation)
@@ -174,5 +178,5 @@ func runE07(cfg Config) error {
 	t.AddRow("P(literal pocket event B)", res.EventBFrac)
 	t.AddRow("mean flooding time", res.MeanT)
 	t.AddRow("runs beating their isolation bound", res.Violations)
-	return render(cfg, t)
+	return emit(cfg, t)
 }

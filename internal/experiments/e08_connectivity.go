@@ -6,9 +6,9 @@ import (
 	"manhattanflood/internal/cells"
 	"manhattanflood/internal/geom"
 	"manhattanflood/internal/graph"
+	"manhattanflood/internal/render"
 	"manhattanflood/internal/sim"
 	"manhattanflood/internal/theory"
-	"manhattanflood/internal/trace"
 )
 
 // E08Point is one row of the connectivity scan.
@@ -111,7 +111,7 @@ func runE08(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	t := trace.NewTable("E08 snapshot connectivity  (n="+itoa(res.N)+", L=sqrt(n))",
+	t := render.NewTable("E08 snapshot connectivity  (n="+itoa(res.N)+", L=sqrt(n))",
 		"R", "P(G connected)", "giant frac", "mean isolated", "CZ cells", "P(CZ connected)", "CZ giant frac")
 	for _, p := range res.Points {
 		if p.CZCells == 0 {
@@ -120,11 +120,11 @@ func runE08(cfg Config) error {
 		}
 		t.AddRow(p.R, p.ConnectedFrac, p.GiantFrac, p.MeanIsolated, p.CZCells, p.CZConnected, p.CZGiantFrac)
 	}
-	if err := render(cfg, t); err != nil {
+	if err := emit(cfg, t); err != nil {
 		return err
 	}
-	f := trace.NewTable("E08 thresholds (paper, Section 1)",
+	f := render.NewTable("E08 thresholds (paper, Section 1)",
 		"uniform Theta(sqrt(log n)) scale", "MRWP corner scale L/n^(1/3)")
 	f.AddRow(res.UniformThreshold, res.MRWPThreshold)
-	return render(cfg, f)
+	return emit(cfg, f)
 }

@@ -5,8 +5,8 @@ import (
 	"math/rand/v2"
 
 	"manhattanflood/internal/mobility"
+	"manhattanflood/internal/render"
 	"manhattanflood/internal/theory"
-	"manhattanflood/internal/trace"
 )
 
 // E09Point is one row of the turn-count scan.
@@ -116,10 +116,10 @@ func runE09(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	t := trace.NewTable("E09 turns per window vs Lemma 13  (n="+itoa(res.N)+", v=0.25, "+itoa(res.Agents)+" agents)",
+	t := render.NewTable("E09 turns per window vs Lemma 13  (n="+itoa(res.N)+", v=0.25, "+itoa(res.Agents)+" agents)",
 		"tau", "max H", "mean H", "bound 4 ln n / ln(L/(v tau))", "within")
 	for _, p := range res.Points {
 		t.AddRow(p.Tau, p.MaxTurns, p.MeanTurns, p.Bound, p.Within)
 	}
-	return render(cfg, t)
+	return emit(cfg, t)
 }

@@ -5,7 +5,7 @@ import (
 	"math/rand/v2"
 
 	"manhattanflood/internal/cells"
-	"manhattanflood/internal/trace"
+	"manhattanflood/internal/render"
 )
 
 // E10Result stress-tests Lemma 9's expansion bound
@@ -124,10 +124,10 @@ func runE10(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	t := trace.NewTable("E10 Lemma 9 expansion over "+itoa(res.SetsTested)+" subsets  (|CZ|="+itoa(res.CZCells)+")",
+	t := render.NewTable("E10 Lemma 9 expansion over "+itoa(res.SetsTested)+" subsets  (|CZ|="+itoa(res.CZCells)+")",
 		"quantity", "value")
 	t.AddRow("min slack |dB| - sqrt(min(|B|,|CZ|-|B|))", res.MinSlack)
 	t.AddRow("min ratio |dB| / sqrt(min(...))", res.MinRatio)
 	t.AddRow("violations", res.Violations)
-	return render(cfg, t)
+	return emit(cfg, t)
 }

@@ -3,9 +3,9 @@ package experiments
 import (
 	"math"
 
+	"manhattanflood/internal/render"
 	"manhattanflood/internal/sim"
 	"manhattanflood/internal/stats"
-	"manhattanflood/internal/trace"
 )
 
 // E11Point is one cell of the (R, v) grid.
@@ -83,15 +83,15 @@ func runE11(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	t := trace.NewTable("E11 Suburb lag over (R, v)  (n="+itoa(res.N)+", source=central)",
+	t := render.NewTable("E11 Suburb lag over (R, v)  (n="+itoa(res.N)+", source=central)",
 		"R", "v", "mean CZ time", "mean suburb lag", "S/v (theta)", "lag/total", "completed")
 	for _, p := range res.Points {
 		t.AddRow(p.R, p.V, p.MeanCZ, p.MeanLag, p.SOverV, p.LagRatio, p.Completed)
 	}
-	if err := render(cfg, t); err != nil {
+	if err := emit(cfg, t); err != nil {
 		return err
 	}
-	f := trace.NewTable("E11 correlation", "Pearson(lag, S/v)")
+	f := render.NewTable("E11 correlation", "Pearson(lag, S/v)")
 	f.AddRow(res.LagVsSV)
-	return render(cfg, f)
+	return emit(cfg, f)
 }

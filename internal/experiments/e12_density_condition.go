@@ -4,8 +4,8 @@ import (
 	"math"
 
 	"manhattanflood/internal/cells"
+	"manhattanflood/internal/render"
 	"manhattanflood/internal/sim"
-	"manhattanflood/internal/trace"
 )
 
 // E12Scale is the density-condition measurement at one Definition 4
@@ -122,10 +122,10 @@ func runE12(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	t := trace.NewTable("E12 density condition (Lemma 7)  (n="+itoa(res.N)+", R="+ftoa(res.R)+", "+itoa(res.Steps)+" steps, ln n="+ftoa(res.LogN)+")",
+	t := render.NewTable("E12 density condition (Lemma 7)  (n="+itoa(res.N)+", R="+ftoa(res.R)+", "+itoa(res.Steps)+" steps, ln n="+ftoa(res.LogN)+")",
 		"Def.4 threshold scale", "CZ cells", "min core agents", "mean core agents", "implied eta")
 	for _, s := range res.Scales {
 		t.AddRow(s.ThresholdScale, s.CZCells, s.MinCore, s.MeanCore, s.Eta)
 	}
-	return render(cfg, t)
+	return emit(cfg, t)
 }

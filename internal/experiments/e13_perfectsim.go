@@ -3,9 +3,9 @@ package experiments
 import (
 	"manhattanflood/internal/dist"
 	"manhattanflood/internal/mobility"
+	"manhattanflood/internal/render"
 	"manhattanflood/internal/sim"
 	"manhattanflood/internal/stats"
-	"manhattanflood/internal/trace"
 )
 
 // E13Result is the perfect-simulation ablation: it quantifies the bias a
@@ -100,16 +100,16 @@ func runE13(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	t := trace.NewTable("E13 initializer ablation: L1 distance from Theorem 1 over time  (n="+itoa(res.N)+")",
+	t := render.NewTable("E13 initializer ablation: L1 distance from Theorem 1 over time  (n="+itoa(res.N)+")",
 		"t", "stationary init", "cold (uniform) init")
 	for i, tm := range res.Times {
 		t.AddRow(tm, res.L1Stationary[i], res.L1Cold[i])
 	}
-	if err := render(cfg, t); err != nil {
+	if err := emit(cfg, t); err != nil {
 		return err
 	}
-	f := trace.NewTable("E13 flooding-time bias",
+	f := render.NewTable("E13 flooding-time bias",
 		"mean T (stationary)", "mean T (cold)", "completed trials")
 	f.AddRow(res.MeanTStationary, res.MeanTCold, res.TrialsCompleted)
-	return render(cfg, f)
+	return emit(cfg, f)
 }

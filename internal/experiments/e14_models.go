@@ -3,8 +3,8 @@ package experiments
 import (
 	"math"
 
+	"manhattanflood/internal/render"
 	"manhattanflood/internal/sim"
-	"manhattanflood/internal/trace"
 )
 
 // E14Point is one mobility model's flooding performance.
@@ -69,10 +69,10 @@ func runE14(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	t := trace.NewTable("E14 flooding time across mobility models  (n="+itoa(res.N)+", R=4, v=0.3)",
+	t := render.NewTable("E14 flooding time across mobility models  (n="+itoa(res.N)+", R=4, v=0.3)",
 		"model", "mean T", "ci95", "completed/trials")
 	for _, p := range res.Points {
 		t.AddRow(p.Model, p.MeanT, p.CI95, itoa(p.Completed)+"/"+itoa(p.Trials))
 	}
-	return render(cfg, t)
+	return emit(cfg, t)
 }

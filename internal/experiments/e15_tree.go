@@ -4,9 +4,9 @@ import (
 	"math"
 
 	"manhattanflood/internal/core"
+	"manhattanflood/internal/render"
 	"manhattanflood/internal/sim"
 	"manhattanflood/internal/stats"
-	"manhattanflood/internal/trace"
 )
 
 // E15Point is one row of the infection-tree scan.
@@ -92,16 +92,16 @@ func runE15(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	t := trace.NewTable("E15 infection-tree geometry  (n="+itoa(res.N)+", v=0.2, source=central)",
+	t := render.NewTable("E15 infection-tree geometry  (n="+itoa(res.N)+", v=0.2, source=central)",
 		"R", "L/R", "mean max depth", "courier-edge frac", "mean max courier delay")
 	for _, p := range res.Points {
 		t.AddRow(p.R, p.LOverR, p.MeanMaxDepth, p.MeanCourierFrac, p.MeanMaxDelay)
 	}
-	if err := render(cfg, t); err != nil {
+	if err := emit(cfg, t); err != nil {
 		return err
 	}
-	f := trace.NewTable("E15 depth ~ L/R fit  (Theorem 10's cell-to-cell propagation)",
+	f := render.NewTable("E15 depth ~ L/R fit  (Theorem 10's cell-to-cell propagation)",
 		"slope", "R^2")
 	f.AddRow(res.DepthVsLOverR, res.DepthFitR2)
-	return render(cfg, f)
+	return emit(cfg, f)
 }

@@ -6,8 +6,8 @@ import (
 	"manhattanflood/internal/cells"
 	"manhattanflood/internal/core"
 	"manhattanflood/internal/geom"
+	"manhattanflood/internal/render"
 	"manhattanflood/internal/sim"
-	"manhattanflood/internal/trace"
 )
 
 // centerOf returns the square's center point.
@@ -76,7 +76,7 @@ func runE16(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	t := trace.NewTable("E16 Lemma 16 meetings  (n="+itoa(res.N)+", R="+ftoa(res.R)+", v="+ftoa(res.V)+", meeting radius 3R/4)",
+	t := render.NewTable("E16 Lemma 16 meetings  (n="+itoa(res.N)+", R="+ftoa(res.R)+", v="+ftoa(res.V)+", meeting radius 3R/4)",
 		"quantity", "value")
 	t.AddRow("agents starting outside the CZ", res.SuburbAgents)
 	t.AddRow("all met a CZ agent", res.MetAll)
@@ -85,5 +85,5 @@ func runE16(cfg Config) error {
 	t.AddRow("S/v (theta)", res.SOverV)
 	t.AddRow("paper budget 590 S/v", res.Lemma16Budget)
 	t.AddRow("measured constant (max / (S/v))", res.BudgetRatio)
-	return render(cfg, t)
+	return emit(cfg, t)
 }

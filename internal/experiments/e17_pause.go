@@ -3,8 +3,8 @@ package experiments
 import (
 	"math"
 
+	"manhattanflood/internal/render"
 	"manhattanflood/internal/sim"
-	"manhattanflood/internal/trace"
 )
 
 // E17Point is one row of the pause sweep.
@@ -91,10 +91,10 @@ func runE17(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	t := trace.NewTable("E17 way-point pause ablation  (n="+itoa(res.N)+", R="+ftoa(res.R)+", v="+ftoa(res.V)+", courier regime)",
+	t := render.NewTable("E17 way-point pause ablation  (n="+itoa(res.N)+", R="+ftoa(res.R)+", v="+ftoa(res.V)+", courier regime)",
 		"max pause", "paused fraction q", "mean T", "ci95", "completed")
 	for _, p := range res.Points {
 		t.AddRow(p.MaxPause, p.PausedFrac, p.MeanT, p.CI95, p.Completed)
 	}
-	return render(cfg, t)
+	return emit(cfg, t)
 }

@@ -4,9 +4,9 @@ import (
 	"math"
 
 	"manhattanflood/internal/cells"
+	"manhattanflood/internal/render"
 	"manhattanflood/internal/sim"
 	"manhattanflood/internal/stats"
-	"manhattanflood/internal/trace"
 )
 
 // E18Point is one (R, v) row of the snapshot-dependence scan.
@@ -109,15 +109,15 @@ func runE18(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	t := trace.NewTable("E18 snapshot dependence  (n="+itoa(res.N)+", R="+ftoa(res.R)+", cell-occupancy autocorrelation)",
+	t := render.NewTable("E18 snapshot dependence  (n="+itoa(res.N)+", R="+ftoa(res.R)+", cell-occupancy autocorrelation)",
 		"v", "l/v (cell-crossing time)", "decorrelation steps", "ratio", "cells")
 	for _, p := range res.Points {
 		t.AddRow(p.V, p.EllOverV, p.DecorrSteps, p.RatioToEllV, p.CellsTracked)
 	}
-	if err := render(cfg, t); err != nil {
+	if err := emit(cfg, t); err != nil {
 		return err
 	}
-	f := trace.NewTable("E18 dependence scales with l/v", "slower agents stay correlated longer")
+	f := render.NewTable("E18 dependence scales with l/v", "slower agents stay correlated longer")
 	f.AddRow(res.ScalesWithEllOverV)
-	return render(cfg, f)
+	return emit(cfg, f)
 }

@@ -12,7 +12,7 @@ import (
 	"sort"
 
 	"manhattanflood/internal/checkpoint"
-	"manhattanflood/internal/trace"
+	"manhattanflood/internal/render"
 )
 
 // Config controls an experiment run.
@@ -149,7 +149,7 @@ func RunAll(cfg Config) error {
 	return nil
 }
 
-// render writes a table to the config output.
-func render(cfg Config, t *trace.Table) error {
+// emit writes a table to the config output.
+func emit(cfg Config, t *render.Table) error {
 	return t.Render(cfg.out())
 }

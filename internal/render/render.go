@@ -1,8 +1,8 @@
-// Package trace renders experiment output: aligned text tables, TSV/CSV
+// Package render renders experiment output: aligned text tables, TSV/CSV
 // files, ASCII heat maps, and binary-free PGM images — enough to
 // regenerate the paper's Figure 1 and every experiment table without any
 // external plotting dependency.
-package trace
+package render
 
 import (
 	"encoding/csv"
@@ -84,7 +84,7 @@ func (t *Table) Render(w io.Writer) error {
 func (t *Table) String() string {
 	var b strings.Builder
 	if err := t.Render(&b); err != nil {
-		return fmt.Sprintf("trace: render failed: %v", err)
+		return fmt.Sprintf("render: render failed: %v", err)
 	}
 	return b.String()
 }
@@ -93,16 +93,16 @@ func (t *Table) String() string {
 func (t *Table) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(t.Columns); err != nil {
-		return fmt.Errorf("trace: writing csv header: %w", err)
+		return fmt.Errorf("render: writing csv header: %w", err)
 	}
 	for _, row := range t.Rows {
 		if err := cw.Write(row); err != nil {
-			return fmt.Errorf("trace: writing csv row: %w", err)
+			return fmt.Errorf("render: writing csv row: %w", err)
 		}
 	}
 	cw.Flush()
 	if err := cw.Error(); err != nil {
-		return fmt.Errorf("trace: flushing csv: %w", err)
+		return fmt.Errorf("render: flushing csv: %w", err)
 	}
 	return nil
 }
@@ -221,17 +221,17 @@ func Sparkline(series []float64, width int) string {
 // top-down, so the field is flipped). Any standard image viewer opens it.
 func WritePGM(w io.Writer, field [][]float64) error {
 	if len(field) == 0 || len(field[0]) == 0 {
-		return fmt.Errorf("trace: empty field")
+		return fmt.Errorf("render: empty field")
 	}
 	h, wd := len(field), len(field[0])
 	var max float64
 	for _, row := range field {
 		if len(row) != wd {
-			return fmt.Errorf("trace: ragged field")
+			return fmt.Errorf("render: ragged field")
 		}
 		for _, v := range row {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return fmt.Errorf("trace: non-finite value %v", v)
+				return fmt.Errorf("render: non-finite value %v", v)
 			}
 			if v > max {
 				max = v

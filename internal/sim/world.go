@@ -187,6 +187,13 @@ type World struct {
 	// a diagnosable report instead of crashing the process. A field so the
 	// parallel step stays allocation-free.
 	catch panicsafe.Catcher
+	// stepHook, when set (SetStepHook), runs at the very end of Step, after
+	// the index sync and the step-counter increment: the X/Y slices and the
+	// neighbor index are consistent for the step just completed. It is the
+	// observation seam used by the public recording API (trace capture);
+	// protocol layers that already observe each step (internal/core) do not
+	// need it.
+	stepHook func()
 }
 
 // NewWorld creates a world of p.N agents using the given mobility model
@@ -367,7 +374,18 @@ func (w *World) Step() {
 	}
 	w.syncIndex()
 	w.step++
+	if w.stepHook != nil {
+		w.stepHook()
+	}
 }
+
+// SetStepHook installs (or, with nil, removes) a function invoked at the
+// end of every Step, once the positions, neighbor index and step counter
+// all reflect the completed step. The hook runs on the goroutine that
+// called Step and must not mutate the world; it may read the live X/Y
+// slices. At most one hook is supported — callers that need fan-out
+// compose it themselves.
+func (w *World) SetStepHook(h func()) { w.stepHook = h }
 
 // fuseChunk is the advance→classify granularity of the population step:
 // the world steps this many agents, then immediately classifies their

@@ -167,6 +167,13 @@ type Simulation struct {
 	cfg  Config
 	w    *sim.World
 	part *cells.Partition
+
+	// Observation state (observer.go): the attached Observer, the flag
+	// suppressing the world-hook emission while Flood emits richer views,
+	// and the sticky error of a world-only observation failure.
+	obs    Observer
+	inRun  bool
+	obsErr error
 }
 
 // New creates a simulation from cfg. The world is fully initialized (and,
@@ -205,7 +212,11 @@ func (s *Simulation) Time() int { return s.w.Time() }
 // Step advances the world one time unit.
 func (s *Simulation) Step() { s.w.Step() }
 
-// Positions returns a copy of all agent positions.
+// Positions returns a copy of all agent positions. It allocates a fresh
+// slice on every call — a cold-path snapshot accessor for one-off reads
+// (examples, debugging). Code that needs positions every step should
+// Attach an Observer instead and read StepView's live X/Y columns, which
+// alias the simulation's state and cost nothing to expose.
 func (s *Simulation) Positions() []Point {
 	xs, ys := s.w.X(), s.w.Y()
 	out := make([]Point, s.w.N())
@@ -298,7 +309,78 @@ const (
 	SourceCorner
 	// SourceRandom uses agent 0 (a stationary-law random position).
 	SourceRandom
+	// SourceExplicit uses the SourceAgent field as the source agent id,
+	// with 0 allowed — unlike the legacy SourceAgent-alone override, which
+	// treats 0 as "unset" and so cannot select agent 0 explicitly.
+	SourceExplicit
 )
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	switch s {
+	case SourceCenter:
+		return "center"
+	case SourceCorner:
+		return "corner"
+	case SourceRandom:
+		return "random"
+	case SourceExplicit:
+		return "explicit"
+	default:
+		return fmt.Sprintf("Source(%d)", uint8(s))
+	}
+}
+
+// DefaultMaxSteps is the step budget used by every run entry point
+// (Flood, FloodTree, RunProtocol) when MaxSteps is zero or negative.
+const DefaultMaxSteps = 100000
+
+// runSpec is the option subset every run entry point resolves identically:
+// source placement, explicit source override, and the step budget. One
+// resolver (resolveRun) replaces the per-entry-point copies that used to
+// drift.
+type runSpec struct {
+	source      Source
+	sourceAgent int
+	maxSteps    int
+}
+
+// resolveRun applies the shared defaulting rules: MaxSteps <= 0 becomes
+// DefaultMaxSteps; SourceExplicit makes sourceAgent authoritative (0
+// allowed, range-checked); otherwise a positive sourceAgent keeps its
+// legacy override meaning, and the Source placement picks the agent.
+func (s *Simulation) resolveRun(rs runSpec) (source, maxSteps int, err error) {
+	maxSteps = rs.maxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	switch {
+	case rs.source == SourceExplicit:
+		source = rs.sourceAgent
+		if source < 0 || source >= s.cfg.N {
+			return 0, 0, fmt.Errorf("manhattan: explicit source agent %d out of range [0, %d)", source, s.cfg.N)
+		}
+	case rs.sourceAgent > 0:
+		// Legacy override: SourceAgent alone, with 0 meaning "unset".
+		source = rs.sourceAgent
+		if source >= s.cfg.N {
+			return 0, 0, fmt.Errorf("manhattan: source agent %d out of range [0, %d)", source, s.cfg.N)
+		}
+	default:
+		central, corner := core.SourcePair(s.w)
+		switch rs.source {
+		case SourceCorner:
+			source = corner
+		case SourceRandom:
+			source = 0
+		case SourceCenter:
+			source = central
+		default:
+			return 0, 0, fmt.Errorf("manhattan: unknown source placement %v", rs.source)
+		}
+	}
+	return source, maxSteps, nil
+}
 
 // FloodOptions configures a flooding run.
 type FloodOptions struct {
@@ -307,11 +389,17 @@ type FloodOptions struct {
 	// alongside the context's error. A nil Ctx never cancels.
 	Ctx context.Context
 	// Source places the initially informed agent (default SourceCenter).
+	// With SourceExplicit, SourceAgent is the source (0 allowed).
 	Source Source
-	// SourceAgent overrides Source with an explicit agent id when > 0
-	// (agent 0 is reachable via SourceRandom).
+	// SourceAgent is the explicit source agent id when Source is
+	// SourceExplicit.
+	//
+	// Deprecated: when Source is not SourceExplicit, a SourceAgent > 0
+	// still overrides the placement (the pre-SourceExplicit behavior, in
+	// which agent 0 meant "unset" and was unselectable). New code should
+	// set Source: SourceExplicit, which accepts agent 0.
 	SourceAgent int
-	// MaxSteps bounds the run (default 100000).
+	// MaxSteps bounds the run (default DefaultMaxSteps).
 	MaxSteps int
 	// TrackZones records the Central Zone completion time and Suburb lag
 	// (default true when the partition exists).
@@ -347,21 +435,11 @@ type FloodResult struct {
 // the world until every agent is informed or the budget is exhausted. The
 // simulation can be reused afterwards (time keeps advancing).
 func (s *Simulation) Flood(opts FloodOptions) (FloodResult, error) {
-	maxSteps := opts.MaxSteps
-	if maxSteps <= 0 {
-		maxSteps = 100000
-	}
-	source := opts.SourceAgent
-	if source <= 0 {
-		central, corner := core.SourcePair(s.w)
-		switch opts.Source {
-		case SourceCorner:
-			source = corner
-		case SourceRandom:
-			source = 0
-		default:
-			source = central
-		}
+	source, maxSteps, err := s.resolveRun(runSpec{
+		source: opts.Source, sourceAgent: opts.SourceAgent, maxSteps: opts.MaxSteps,
+	})
+	if err != nil {
+		return FloodResult{}, err
 	}
 	var coreOpts []core.FloodOption
 	if (opts.TrackZones || opts.Source == SourceCenter) && s.part != nil {
@@ -376,6 +454,13 @@ func (s *Simulation) Flood(opts FloodOptions) (FloodResult, error) {
 	f, err := core.NewFlooding(s.w, source, coreOpts...)
 	if err != nil {
 		return FloodResult{}, fmt.Errorf("manhattan: %w", err)
+	}
+	if obs := s.floodObserver(f.Informed); obs != nil {
+		// The flood loop emits the rich views; silence the world hook for
+		// the duration so each step produces exactly one view.
+		core.WithStepObserver(obs)(f)
+		s.inRun = true
+		defer func() { s.inRun = false }()
 	}
 	res, err := f.RunContext(opts.Ctx, maxSteps)
 	out := FloodResult{

@@ -1,0 +1,105 @@
+package manhattan
+
+// StepView is the read-only per-step view handed to an attached Observer.
+// The slices alias the simulation's live structure-of-arrays state — no
+// copies are made — so they are valid only for the duration of the
+// ObserveStep call: an observer that needs the data afterwards must copy
+// it (the trace recorder encodes it straight into its output buffer).
+//
+// X and Y are always present and indexed by agent id. Informed and
+// NewlyInformed are populated only for steps driven by Simulation.Flood
+// (the paper's protocol is the one with an informed-set notion wired into
+// the observer seam); for plain Step, FloodTree and RunProtocol runs they
+// are nil and the view carries positions only.
+type StepView struct {
+	// Step is the world time after the observed step completed. The first
+	// view of a Flood run is the run-start frame: the world time before
+	// any flood step, with NewlyInformed holding exactly the source.
+	Step int
+	// X and Y are the live position columns, indexed by agent id.
+	X, Y []float64
+	// Informed is the live informed-flags slice (nil outside Flood).
+	Informed []bool
+	// NewlyInformed holds the ids informed during this step, in the
+	// deterministic discovery order (bucket-major sweep hits, then
+	// chained BFS order when within-step chaining is enabled). Nil
+	// outside Flood.
+	NewlyInformed []int32
+}
+
+// Observer receives a StepView after every completed simulation step while
+// attached. Returning a non-nil error stops observation: a Flood run
+// aborts at the step boundary and returns the error; for world-only paths
+// (Step, FloodTree, RunProtocol) the error is sticky — emission stops and
+// the error surfaces from the running entry point and from ObserverErr.
+//
+// Observers run synchronously on the stepping goroutine and must not
+// mutate the simulation or retain the view's slices.
+type Observer interface {
+	ObserveStep(v StepView) error
+}
+
+// Attach installs o as the simulation's observer, replacing any previous
+// one (at most one observer is attached; compose fan-out externally) and
+// clearing any sticky observer error. Attach(nil) is Detach.
+//
+// While attached, the observer sees every world step: plain Step and the
+// protocol entry points emit position-only views; Flood emits full views
+// with the informed set and the step's newly informed ids. This is the
+// public seam the trace recorder (NewRecorder) plugs into.
+func (s *Simulation) Attach(o Observer) {
+	s.obs = o
+	s.obsErr = nil
+	if o == nil {
+		s.w.SetStepHook(nil)
+		return
+	}
+	s.w.SetStepHook(s.observeWorldStep)
+}
+
+// Detach removes the current observer (if any) and returns it. The sticky
+// observer error, if one occurred, stays readable via ObserverErr until
+// the next Attach.
+func (s *Simulation) Detach() Observer {
+	o := s.obs
+	s.obs = nil
+	s.w.SetStepHook(nil)
+	return o
+}
+
+// ObserverErr returns the sticky error of a world-only observation path
+// (an ObserveStep failure during Step, FloodTree or RunProtocol), or nil.
+// Flood failures are returned directly by Flood and are not sticky.
+func (s *Simulation) ObserverErr() error { return s.obsErr }
+
+// observeWorldStep is the sim.World step hook: the position-only emission
+// path. During Flood it stays silent (inRun) — the flood loop emits richer
+// views through the same observer — and after an observer error it stays
+// silent until the next Attach.
+func (s *Simulation) observeWorldStep() {
+	if s.inRun || s.obs == nil || s.obsErr != nil {
+		return
+	}
+	err := s.obs.ObserveStep(StepView{Step: s.w.Time(), X: s.w.X(), Y: s.w.Y()})
+	if err != nil {
+		s.obsErr = err
+	}
+}
+
+// floodObserver adapts the attached Observer to the core flooding seam,
+// enriching the view with the informed set. Returns nil when no observer
+// is attached.
+func (s *Simulation) floodObserver(informed func() []bool) func(newly []int32) error {
+	if s.obs == nil {
+		return nil
+	}
+	return func(newly []int32) error {
+		return s.obs.ObserveStep(StepView{
+			Step:          s.w.Time(),
+			X:             s.w.X(),
+			Y:             s.w.Y(),
+			Informed:      informed(),
+			NewlyInformed: newly,
+		})
+	}
+}

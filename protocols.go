@@ -1,6 +1,7 @@
 package manhattan
 
 import (
+	"context"
 	"fmt"
 
 	"manhattanflood/internal/core"
@@ -27,31 +28,24 @@ type TreeResult struct {
 }
 
 // FloodTree runs flooding instrumented with the infection tree and returns
-// its geometry. Like Flood, it advances the simulation.
+// its geometry. Like Flood, it advances the simulation. Source, SourceAgent
+// and MaxSteps default exactly as in Flood (resolveRun); a non-nil Ctx
+// cancels between steps, returning the partial geometry alongside the
+// context's error. An attached Observer sees position-only views.
 func (s *Simulation) FloodTree(opts FloodOptions) (TreeResult, error) {
-	maxSteps := opts.MaxSteps
-	if maxSteps <= 0 {
-		maxSteps = 100000
-	}
-	source := opts.SourceAgent
-	if source <= 0 {
-		central, corner := core.SourcePair(s.w)
-		switch opts.Source {
-		case SourceCorner:
-			source = corner
-		case SourceRandom:
-			source = 0
-		default:
-			source = central
-		}
+	source, maxSteps, err := s.resolveRun(runSpec{
+		source: opts.Source, sourceAgent: opts.SourceAgent, maxSteps: opts.MaxSteps,
+	})
+	if err != nil {
+		return TreeResult{}, err
 	}
 	f, err := core.NewTreeFlooding(s.w, source)
 	if err != nil {
 		return TreeResult{}, fmt.Errorf("manhattan: %w", err)
 	}
-	time, ok := f.Run(maxSteps)
+	time, ok, err := f.RunContext(opts.Ctx, maxSteps)
 	st := f.Stats()
-	return TreeResult{
+	out := TreeResult{
 		Completed:       ok,
 		Time:            time,
 		MaxDepth:        st.MaxDepth,
@@ -60,7 +54,14 @@ func (s *Simulation) FloodTree(opts FloodOptions) (TreeResult, error) {
 		CourierFraction: st.CourierFraction,
 		MaxCourierDelay: st.MaxEdgeDelay,
 		Source:          source,
-	}, nil
+	}
+	if err == nil {
+		err = s.obsErr
+	}
+	if err != nil {
+		return out, fmt.Errorf("manhattan: %w", err)
+	}
+	return out, nil
 }
 
 // Protocol selects a dissemination protocol variant.
@@ -99,9 +100,15 @@ type ProtocolOptions struct {
 	P float64
 	// K is the fan-out for Gossip (default 1).
 	K int
-	// Source and MaxSteps as in FloodOptions.
-	Source   Source
-	MaxSteps int
+	// Ctx cancels the run between steps when non-nil, exactly as
+	// FloodOptions.Ctx does for Flood.
+	Ctx context.Context
+	// Source, SourceAgent and MaxSteps default as in FloodOptions
+	// (resolveRun): SourceExplicit makes SourceAgent authoritative with
+	// agent 0 allowed.
+	Source      Source
+	SourceAgent int
+	MaxSteps    int
 }
 
 // ProtocolResult reports a protocol-variant run.
@@ -114,58 +121,63 @@ type ProtocolResult struct {
 }
 
 // RunProtocol runs a dissemination-protocol variant over the simulation.
+// A non-nil Ctx cancels between steps with the partial result returned
+// alongside the context's error. An attached Observer sees position-only
+// views (the informed-set enrichment is specific to Flood).
 func (s *Simulation) RunProtocol(opts ProtocolOptions) (ProtocolResult, error) {
-	maxSteps := opts.MaxSteps
-	if maxSteps <= 0 {
-		maxSteps = 100000
+	source, maxSteps, err := s.resolveRun(runSpec{
+		source: opts.Source, sourceAgent: opts.SourceAgent, maxSteps: opts.MaxSteps,
+	})
+	if err != nil {
+		return ProtocolResult{}, err
 	}
-	central, corner := core.SourcePair(s.w)
-	source := central
-	switch opts.Source {
-	case SourceCorner:
-		source = corner
-	case SourceRandom:
-		source = 0
-	}
+	var out ProtocolResult
 	switch opts.Protocol {
 	case Flooding:
-		f, err := core.NewFlooding(s.w, source)
-		if err != nil {
-			return ProtocolResult{}, fmt.Errorf("manhattan: %w", err)
+		f, ferr := core.NewFlooding(s.w, source)
+		if ferr != nil {
+			return ProtocolResult{}, fmt.Errorf("manhattan: %w", ferr)
 		}
-		res, err := f.Run(maxSteps)
-		if err != nil {
-			return ProtocolResult{}, fmt.Errorf("manhattan: %w", err)
-		}
-		return ProtocolResult{Completed: res.Completed, Time: res.Time, Informed: res.Informed}, nil
+		res, rerr := f.RunContext(opts.Ctx, maxSteps)
+		out = ProtocolResult{Completed: res.Completed, Time: res.Time, Informed: res.Informed}
+		err = rerr
 	case Parsimonious:
 		p := opts.P
 		if p == 0 {
 			p = 0.5
 		}
-		f, err := core.NewParsimoniousFlooding(s.w, source, p, s.cfg.Seed^0xbeef)
-		if err != nil {
-			return ProtocolResult{}, fmt.Errorf("manhattan: %w", err)
+		f, ferr := core.NewParsimoniousFlooding(s.w, source, p, s.cfg.Seed^0xbeef)
+		if ferr != nil {
+			return ProtocolResult{}, fmt.Errorf("manhattan: %w", ferr)
 		}
-		time, ok := f.Run(maxSteps)
-		return ProtocolResult{
+		time, ok, rerr := f.RunContext(opts.Ctx, maxSteps)
+		out = ProtocolResult{
 			Completed:     ok,
 			Time:          time,
 			Informed:      f.InformedCount(),
 			Transmissions: f.Transmissions(),
-		}, nil
+		}
+		err = rerr
 	case Gossip:
 		k := opts.K
 		if k == 0 {
 			k = 1
 		}
-		g, err := core.NewKGossip(s.w, source, k, s.cfg.Seed^0xfeed)
-		if err != nil {
-			return ProtocolResult{}, fmt.Errorf("manhattan: %w", err)
+		g, gerr := core.NewKGossip(s.w, source, k, s.cfg.Seed^0xfeed)
+		if gerr != nil {
+			return ProtocolResult{}, fmt.Errorf("manhattan: %w", gerr)
 		}
-		time, ok := g.Run(maxSteps)
-		return ProtocolResult{Completed: ok, Time: time, Informed: g.InformedCount()}, nil
+		time, ok, rerr := g.RunContext(opts.Ctx, maxSteps)
+		out = ProtocolResult{Completed: ok, Time: time, Informed: g.InformedCount()}
+		err = rerr
 	default:
 		return ProtocolResult{}, fmt.Errorf("manhattan: unknown protocol %v", opts.Protocol)
 	}
+	if err == nil {
+		err = s.obsErr
+	}
+	if err != nil {
+		return out, fmt.Errorf("manhattan: %w", err)
+	}
+	return out, nil
 }

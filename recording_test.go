@@ -1,0 +1,282 @@
+package manhattan
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// capturingRecorder records the trace and simultaneously snapshots every
+// view, giving the replay comparison a ground truth captured at the very
+// same seam.
+type capturingRecorder struct {
+	rec *Recorder
+
+	steps    []int
+	xs, ys   [][]float64
+	informed [][]bool
+	newly    [][]int32
+}
+
+func (c *capturingRecorder) ObserveStep(v StepView) error {
+	c.steps = append(c.steps, v.Step)
+	c.xs = append(c.xs, append([]float64(nil), v.X...))
+	c.ys = append(c.ys, append([]float64(nil), v.Y...))
+	if v.Informed != nil {
+		c.informed = append(c.informed, append([]bool(nil), v.Informed...))
+		c.newly = append(c.newly, append([]int32(nil), v.NewlyInformed...))
+	} else {
+		c.informed = append(c.informed, nil)
+		c.newly = append(c.newly, nil)
+	}
+	return c.rec.ObserveStep(v)
+}
+
+// TestRecordReplayRoundTrip is the round-trip property test: a recorded
+// flooding run must replay bit-identically — positions, informed set and
+// the newly-informed discovery order — across the tiled/flat worlds,
+// sequential/parallel stepping, and both index maintenance paths (V/R
+// under the delta threshold and above it, forcing rebuilds).
+func TestRecordReplayRoundTrip(t *testing.T) {
+	for _, tiles := range []int{0, 4} {
+		for _, workers := range []int{0, 4} {
+			for _, v := range []float64{0.05, 0.5} { // delta path / rebuild path (R = 1)
+				name := fmt.Sprintf("tiles=%d/workers=%d/v=%g", tiles, workers, v)
+				t.Run(name, func(t *testing.T) {
+					cfg := Config{
+						N: 600, L: 24.5, R: 1, V: v, Seed: 42,
+						Workers: workers, Tiles: tiles, Pause: 2,
+					}
+					sim, err := New(cfg)
+					if err != nil {
+						t.Fatalf("New: %v", err)
+					}
+					var buf bytes.Buffer
+					rec, err := NewRecorder(&buf, sim, RecordOptions{KeyframeEvery: 8})
+					if err != nil {
+						t.Fatalf("NewRecorder: %v", err)
+					}
+					cap := &capturingRecorder{rec: rec}
+					sim.Attach(cap)
+					res, err := sim.Flood(FloodOptions{Source: SourceCenter, MaxSteps: 2000})
+					sim.Detach()
+					if err != nil {
+						t.Fatalf("Flood: %v", err)
+					}
+					if !res.Completed {
+						t.Fatalf("flood did not complete in 2000 steps (informed %d/%d)", res.Informed, cfg.N)
+					}
+					if len(cap.steps) < 20 {
+						t.Fatalf("only %d frames captured; want a multi-keyframe run", len(cap.steps))
+					}
+					checkReplayMatches(t, buf.Bytes(), cap, cfg.N)
+				})
+			}
+		}
+	}
+}
+
+func checkReplayMatches(t *testing.T, data []byte, cap *capturingRecorder, n int) {
+	t.Helper()
+	rp, err := OpenReplay(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("OpenReplay: %v", err)
+	}
+	if rp.Frames() != len(cap.steps) {
+		t.Fatalf("replay has %d frames, recorded %d", rp.Frames(), len(cap.steps))
+	}
+	info := rp.Info()
+	if info.N != n {
+		t.Fatalf("replay header N = %d, want %d", info.N, n)
+	}
+	for i := range cap.steps {
+		if err := rp.Next(); err != nil {
+			t.Fatalf("Next at frame %d: %v", i, err)
+		}
+		v := rp.View()
+		if v.Step != cap.steps[i] {
+			t.Fatalf("frame %d: step %d, want %d", i, v.Step, cap.steps[i])
+		}
+		for j := 0; j < n; j++ {
+			if math.Float64bits(v.X[j]) != math.Float64bits(cap.xs[i][j]) ||
+				math.Float64bits(v.Y[j]) != math.Float64bits(cap.ys[i][j]) {
+				t.Fatalf("step %d agent %d: replayed (%v, %v), recorded (%v, %v)",
+					v.Step, j, v.X[j], v.Y[j], cap.xs[i][j], cap.ys[i][j])
+			}
+		}
+		if cap.informed[i] == nil {
+			if v.Informed != nil {
+				t.Fatalf("step %d: replay has informed state, recording did not", v.Step)
+			}
+			continue
+		}
+		for j := range cap.informed[i] {
+			if v.Informed[j] != cap.informed[i][j] {
+				t.Fatalf("step %d agent %d: informed %v, want %v", v.Step, j, v.Informed[j], cap.informed[i][j])
+			}
+		}
+		if len(v.NewlyInformed) != len(cap.newly[i]) {
+			t.Fatalf("step %d: %d newly informed, want %d", v.Step, len(v.NewlyInformed), len(cap.newly[i]))
+		}
+		for k := range v.NewlyInformed {
+			if v.NewlyInformed[k] != cap.newly[i][k] {
+				t.Fatalf("step %d: newly[%d] = %d, want %d (discovery order must round-trip)",
+					v.Step, k, v.NewlyInformed[k], cap.newly[i][k])
+			}
+		}
+	}
+	if err := rp.Next(); err != io.EOF {
+		t.Fatalf("Next past end: %v, want io.EOF", err)
+	}
+	// Random access must agree with the sequential decode.
+	rng := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 20; trial++ {
+		i := rng.IntN(len(cap.steps))
+		if err := rp.Seek(cap.steps[i]); err != nil {
+			t.Fatalf("Seek(%d): %v", cap.steps[i], err)
+		}
+		v := rp.View()
+		for j := 0; j < n; j++ {
+			if v.X[j] != cap.xs[i][j] || v.Y[j] != cap.ys[i][j] {
+				t.Fatalf("Seek(%d) agent %d: wrong position", cap.steps[i], j)
+			}
+		}
+	}
+}
+
+// TestRecordTornTail: truncating a recorded flood trace anywhere inside
+// the frame region must still open, with the torn frame dropped —
+// internal/checkpoint's crash discipline at the public surface.
+func TestRecordTornTail(t *testing.T) {
+	sim, err := New(Config{N: 200, L: 14.1, R: 3, V: 0.3, Seed: 9})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var buf bytes.Buffer
+	rec, err := NewRecorder(&buf, sim, RecordOptions{KeyframeEvery: 4})
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	sim.Attach(rec)
+	if _, err := sim.Flood(FloodOptions{MaxSteps: 200}); err != nil {
+		t.Fatalf("Flood: %v", err)
+	}
+	sim.Detach()
+	data := buf.Bytes()
+	full, err := OpenReplay(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("OpenReplay(full): %v", err)
+	}
+	if full.Frames() < 5 {
+		t.Fatalf("trace too short (%d frames) to exercise truncation", full.Frames())
+	}
+	for cut := len(data) - 1; cut > len(data)-200 && cut > 0; cut-- {
+		rp, err := OpenReplay(bytes.NewReader(data[:cut]))
+		if err != nil {
+			t.Fatalf("truncated to %d bytes: %v", cut, err)
+		}
+		if rp.Frames() > full.Frames() {
+			t.Fatalf("truncated trace has more frames than the full one")
+		}
+	}
+	// Mid-file corruption, by contrast, must fail loudly.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0x10
+	if _, err := OpenReplay(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("mid-file corruption not detected")
+	}
+}
+
+// TestObserverPositionsOnlyPaths: plain Step and FloodTree emit
+// position-only views through the attached observer.
+func TestObserverPositionsOnlyPaths(t *testing.T) {
+	sim, err := New(Config{N: 100, L: 10, R: 3, V: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var buf bytes.Buffer
+	rec, err := NewRecorder(&buf, sim, RecordOptions{})
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	cap := &capturingRecorder{rec: rec}
+	sim.Attach(cap)
+	for i := 0; i < 5; i++ {
+		sim.Step()
+	}
+	if _, err := sim.FloodTree(FloodOptions{MaxSteps: 50}); err != nil {
+		t.Fatalf("FloodTree: %v", err)
+	}
+	sim.Detach()
+	if len(cap.steps) < 6 {
+		t.Fatalf("captured %d frames, want Step + FloodTree emissions", len(cap.steps))
+	}
+	for i, inf := range cap.informed {
+		if inf != nil {
+			t.Fatalf("frame %d: world-only path carried informed state", i)
+		}
+	}
+	checkReplayMatches(t, buf.Bytes(), cap, 100)
+}
+
+// TestObserverErrorAbortsFlood: a failing observer stops a Flood run at
+// the step boundary with the error surfaced.
+func TestObserverErrorAbortsFlood(t *testing.T) {
+	sim, err := New(Config{N: 200, L: 14.1, R: 3, V: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	boom := errors.New("observer boom")
+	calls := 0
+	sim.Attach(observerFunc(func(v StepView) error {
+		calls++
+		if calls == 3 {
+			return boom
+		}
+		return nil
+	}))
+	_, err = sim.Flood(FloodOptions{MaxSteps: 100})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Flood error = %v, want %v", err, boom)
+	}
+	if calls != 3 {
+		t.Fatalf("observer called %d times, want 3", calls)
+	}
+}
+
+// observerFunc adapts a function to the Observer interface.
+type observerFunc func(StepView) error
+
+func (f observerFunc) ObserveStep(v StepView) error { return f(v) }
+
+// TestSourceExplicitAgentZero: the redesigned source resolution makes
+// agent 0 selectable, which the legacy SourceAgent override could not.
+func TestSourceExplicitAgentZero(t *testing.T) {
+	sim, err := New(Config{N: 100, L: 10, R: 3, V: 0.3, Seed: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := sim.Flood(FloodOptions{Source: SourceExplicit, SourceAgent: 0, MaxSteps: 100})
+	if err != nil {
+		t.Fatalf("Flood: %v", err)
+	}
+	if res.Source != 0 {
+		t.Fatalf("explicit source 0 resolved to agent %d", res.Source)
+	}
+	// Legacy override still works for positive ids.
+	res, err = sim.Flood(FloodOptions{SourceAgent: 7, MaxSteps: 100})
+	if err != nil {
+		t.Fatalf("Flood: %v", err)
+	}
+	if res.Source != 7 {
+		t.Fatalf("legacy SourceAgent 7 resolved to agent %d", res.Source)
+	}
+	// Out-of-range explicit ids are rejected.
+	if _, err := sim.Flood(FloodOptions{Source: SourceExplicit, SourceAgent: 100}); err == nil {
+		t.Fatal("out-of-range explicit source accepted")
+	}
+}
